@@ -1,0 +1,99 @@
+// Command drgpum-analyze re-runs DrGPUM's offline object-level analysis
+// over a saved profile (produced with `drgpum -save profile.json`),
+// optionally under different detector thresholds — the persistent form of
+// the paper's online-collector/offline-analyzer split, exploiting that
+// every §3 threshold is user-tunable.
+//
+// Usage:
+//
+//	drgpum-analyze -in profile.json [-ti 4] [-ra-tolerance 0.10]
+//	               [-peaks 2] [-json] [-html report.html] [-verbose]
+//	drgpum-analyze -in optimized.json -baseline naive.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drgpum/internal/core"
+	"drgpum/internal/gui"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drgpum-analyze: ")
+
+	var (
+		in       = flag.String("in", "", "profile file to analyze (required)")
+		baseline = flag.String("baseline", "", "compare -in (the candidate) against this saved profile")
+		ti       = flag.Int("ti", 4, "temporary-idleness threshold (intervening GPU APIs)")
+		raTol    = flag.Float64("ra-tolerance", 0.10, "redundant-allocation size tolerance (fraction)")
+		peaks    = flag.Int("peaks", 2, "memory peaks to report")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		htmlPath = flag.String("html", "", "write a self-contained HTML report to this path")
+		verbose  = flag.Bool("verbose", false, "include call paths and peak object lists")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("-in is required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.ObjLevel.IdlenessThreshold = *ti
+	cfg.ObjLevel.RedundantSizeTolerance = *raTol
+	cfg.TopPeaks = *peaks
+
+	rep, err := core.AnalyzeProfile(f, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *baseline != "" {
+		bf, err := os.Open(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := core.AnalyzeProfile(bf, cfg)
+		bf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s vs baseline %s\n", *in, *baseline)
+		core.Compare(base, rep).Render(os.Stdout)
+		return
+	}
+
+	if *jsonOut {
+		data, err := rep.MarshalJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	} else {
+		rep.Render(os.Stdout, *verbose)
+	}
+
+	if *htmlPath != "" {
+		out, err := os.Create(*htmlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gui.ExportHTML(rep, out); err != nil {
+			out.Close()
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *htmlPath)
+	}
+}

@@ -1,0 +1,29 @@
+// Command drgpum-compare regenerates the paper's Table 5: which of the ten
+// inefficiency patterns DrGPUM, a ValueExpert-style value profiler, and a
+// Compute-Sanitizer-style memcheck can detect across the workload suite.
+//
+// Usage:
+//
+//	drgpum-compare
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/tables"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drgpum-compare: ")
+
+	rows, err := tables.Table5(gpu.SpecRTX3090())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 5: DrGPUM vs state-of-the-art tools")
+	tables.RenderTable5(os.Stdout, rows)
+}

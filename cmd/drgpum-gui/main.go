@@ -1,0 +1,55 @@
+// Command drgpum-gui regenerates the paper's Figure 7: a Perfetto trace of
+// the SimpleMultiCopy profile (the artifact's liveness.json) showing GPU
+// APIs in topological order, the data objects at the top memory peaks with
+// their accesses, the device-memory curve, and per-API inefficiency
+// details.
+//
+// Usage:
+//
+//	drgpum-gui [-o liveness.json] [-workload simplemulticopy]
+//
+// Open the output at https://ui.perfetto.dev via "Open trace file".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/gui"
+	"drgpum/internal/tables"
+	"drgpum/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drgpum-gui: ")
+	out := flag.String("o", "liveness.json", "output trace path")
+	name := flag.String("workload", "simplemulticopy", "workload to visualize")
+	flag.Parse()
+
+	w, ok := workloads.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+	rep, err := tables.Profile(w, gpu.SpecRTX3090(), workloads.VariantNaive, gpu.PatchFull, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gui.Export(rep, f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d findings, %d peak objects) — open it at https://ui.perfetto.dev\n",
+		*out, len(rep.Findings), len(rep.Peaks.Peaks))
+}

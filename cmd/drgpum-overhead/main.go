@@ -1,0 +1,50 @@
+// Command drgpum-overhead regenerates the paper's Figure 6: DrGPUM's
+// profiling overhead per workload for object-level and intra-object
+// analysis on the RTX 3090 and A100 device configurations.
+//
+// Usage:
+//
+//	drgpum-overhead [-repeats N] [-sampling N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/overhead"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drgpum-overhead: ")
+	repeats := flag.Int("repeats", 3, "runs per configuration (median kept)")
+	sampling := flag.Int("sampling", 100, "intra-object kernel sampling period")
+	svgPath := flag.String("svg", "", "also write the figure as an SVG bar chart (the artifact's overhead.pdf analog)")
+	flag.Parse()
+
+	rows, err := overhead.Measure(
+		[]gpu.DeviceSpec{gpu.SpecRTX3090(), gpu.SpecA100()},
+		overhead.Options{Repeats: *repeats, SamplingPeriod: *sampling},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	overhead.Render(os.Stdout, rows)
+
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := overhead.RenderSVG(f, rows); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *svgPath)
+	}
+}

@@ -1,0 +1,65 @@
+// Command drgpum-tables regenerates the paper's Table 1 (pattern matrix)
+// and Table 4 (peak-memory reductions and speedups) from the re-implemented
+// workloads.
+//
+// Usage:
+//
+//	drgpum-tables [-table 1|4|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/tables"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drgpum-tables: ")
+	which := flag.String("table", "all", "which table to regenerate: 1, 4 or all")
+	outDir := flag.String("o", "", "also write artifact-style result files (patterns.txt, memory_peak.txt) into this directory")
+	flag.Parse()
+
+	results := func(name string, render func(w *os.File)) {
+		if *outDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(f)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", filepath.Join(*outDir, name))
+	}
+
+	if *which == "1" || *which == "all" {
+		rows, err := tables.Table1(gpu.SpecRTX3090())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table 1: patterns of memory inefficiencies found in the workloads")
+		tables.RenderTable1(os.Stdout, rows)
+		fmt.Println()
+		results("patterns.txt", func(w *os.File) { tables.RenderTable1(w, rows) })
+	}
+	if *which == "4" || *which == "all" {
+		rows, err := tables.Table4()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table 4: peak memory reductions and speedups guided by DrGPUM")
+		tables.RenderTable4(os.Stdout, rows)
+		results("memory_peak.txt", func(w *os.File) { tables.RenderTable4(w, rows) })
+	}
+}

@@ -1,0 +1,128 @@
+// Package drgpum is an object-centric GPU memory profiler: a Go
+// reproduction of "DrGPUM: Guiding Memory Optimization for GPU-Accelerated
+// Applications" (ASPLOS 2023).
+//
+// DrGPUM attaches to a simulated GPU device (package gpusim), intercepts
+// every GPU API (allocation, deallocation, copy, set, kernel launch) and —
+// at intra-object granularity — every memory instruction of instrumented
+// kernels. From that event stream it builds a timestamp-augmented
+// object-level memory access trace, a multi-stream dependency graph with
+// topological timestamps, and per-object access bitmaps and frequency
+// maps; over these it detects ten patterns of memory inefficiency and
+// emits ranked findings with call paths, inefficiency distances, and
+// actionable optimization suggestions.
+//
+// Minimal usage:
+//
+//	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
+//	prof := drgpum.Attach(dev, drgpum.IntraObjectConfig())
+//	// ... run GPU work on dev ...
+//	report := prof.Finish()
+//	report.Render(os.Stdout, true)
+//
+// The profiler must be attached before the monitored GPU activity starts.
+// Annotate allocations with application-level names so reports speak the
+// program's language:
+//
+//	ptr, _ := dev.Malloc(n)
+//	prof.Annotate(ptr, "d_data_in1", 4)
+package drgpum
+
+import (
+	"io"
+
+	"drgpum/internal/core"
+	"drgpum/internal/gpu"
+	"drgpum/internal/gui"
+	"drgpum/internal/pattern"
+	"drgpum/internal/pool"
+)
+
+// Profiler is an attached DrGPUM instance. See core.Profiler.
+type Profiler = core.Profiler
+
+// Config carries the profiler's user-tunable thresholds and instrumentation
+// settings. See core.Config.
+type Config = core.Config
+
+// Report is the profiler's output: the annotated trace, dependency graph,
+// memory peaks and ranked findings. See core.Report.
+type Report = core.Report
+
+// Finding is one detected inefficiency instance.
+type Finding = pattern.Finding
+
+// Pattern enumerates the ten inefficiency patterns of the paper's §3.
+type Pattern = pattern.Pattern
+
+// The ten inefficiency patterns, in the paper's Table 1 order.
+const (
+	EarlyAllocation           = pattern.EarlyAllocation
+	LateDeallocation          = pattern.LateDeallocation
+	RedundantAllocation       = pattern.RedundantAllocation
+	UnusedAllocation          = pattern.UnusedAllocation
+	MemoryLeak                = pattern.MemoryLeak
+	TemporaryIdleness         = pattern.TemporaryIdleness
+	DeadWrite                 = pattern.DeadWrite
+	Overallocation            = pattern.Overallocation
+	NonUniformAccessFrequency = pattern.NonUniformAccessFrequency
+	StructuredAccess          = pattern.StructuredAccess
+)
+
+// AllPatterns returns every pattern in table order.
+func AllPatterns() []Pattern { return pattern.All() }
+
+// Attach hooks a profiler up to a device and enables instrumentation at the
+// configured level. Call it before the monitored GPU activity starts.
+func Attach(dev *gpu.Device, cfg Config) *Profiler { return core.Attach(dev, cfg) }
+
+// DefaultConfig returns the paper's experimental settings at object-level
+// analysis granularity (every GPU API intercepted; no per-instruction
+// instrumentation).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// IntraObjectConfig returns DefaultConfig raised to intra-object
+// granularity: kernels are patched so every memory instruction feeds the
+// per-object bitmaps and frequency maps.
+func IntraObjectConfig() Config { return core.IntraObjectConfig() }
+
+// ExportGUI writes a report as a Perfetto/Chrome-trace JSON file (the
+// paper's liveness.json): per-stream GPU API timeline, lifetime tracks of
+// the data objects at the top memory peaks, the device-memory curve, and
+// per-API inefficiency details. Open it at https://ui.perfetto.dev.
+func ExportGUI(rep *Report, w io.Writer) error { return gui.Export(rep, w) }
+
+// AnalyzeProfile loads a profile previously written with
+// Report.SaveProfile and re-runs the offline analyses (dependency
+// ordering, peak mining, the seven object-level detectors) under the given
+// configuration — different thresholds included — without re-executing the
+// program. Intra-object findings are online-only and are not recomputed.
+func AnalyzeProfile(r io.Reader, cfg Config) (*Report, error) {
+	return core.AnalyzeProfile(r, cfg)
+}
+
+// ExportHTML writes a report as one self-contained HTML page — run
+// statistics, an inline-SVG memory timeline with the mined peaks marked,
+// and the ranked findings with metrics, suggestions and allocation call
+// paths. The file has no external references and works offline.
+func ExportHTML(rep *Report, w io.Writer) error { return gui.ExportHTML(rep, w) }
+
+// Pool is a caching device-memory allocator (the PyTorch CUDA caching
+// allocator analog). Use Profiler.AttachPool to give the profiler
+// visibility into its custom memory APIs (paper §5.4).
+type Pool = pool.Pool
+
+// NewPool creates a caching allocator over dev growing in segments of
+// segmentBytes (0 selects 1 MiB).
+func NewPool(dev *gpu.Device, segmentBytes uint64) *Pool { return pool.New(dev, segmentBytes) }
+
+// BFC is a best-fit-with-coalescing arena allocator in the style of
+// TensorFlow's BFC allocator — the paper's other custom-memory-API target
+// (§8 future work). It implements the same Observable surface as Pool, so
+// Profiler.AttachPool works identically.
+type BFC = pool.BFC
+
+// NewBFC creates a BFC arena allocator of arenaBytes (0 selects 1 MiB).
+// The arena is reserved lazily at first allocation so a profiler attached
+// after construction still observes it.
+func NewBFC(dev *gpu.Device, arenaBytes uint64) *BFC { return pool.NewBFC(dev, arenaBytes) }

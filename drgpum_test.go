@@ -1,0 +1,161 @@
+package drgpum_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drgpum"
+	"drgpum/gpusim"
+)
+
+// TestPublicAPIQuickstart exercises the documented minimal workflow end to
+// end through the public packages only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
+	prof := drgpum.Attach(dev, drgpum.IntraObjectConfig())
+
+	buf, err := dev.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.Annotate(buf, "workbuf", 4) {
+		t.Fatal("Annotate failed")
+	}
+	unused, err := dev.Malloc(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Annotate(unused, "spare", 4)
+
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := dev.MemcpyHtoD(buf, data, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LaunchFunc(nil, "inc", gpusim.Dim1(4), gpusim.Dim1(256),
+		func(ctx *gpusim.ExecContext) {
+			for i := 0; i < 1024; i++ {
+				addr := buf + gpusim.DevicePtr(i*4)
+				ctx.StoreU32(addr, ctx.LoadU32(addr)+1)
+			}
+		}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4096)
+	if err := dev.MemcpyDtoH(out, buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(unused); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := prof.Finish()
+	if !rep.HasPattern(drgpum.UnusedAllocation) {
+		t.Errorf("quickstart report missed the unused allocation: %v", rep.PatternSet())
+	}
+	if got := rep.PatternsForObject("spare"); len(got) == 0 {
+		t.Error("annotation did not reach the report")
+	}
+
+	var buf2 bytes.Buffer
+	if err := drgpum.ExportGUI(rep, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "workbuf") && !strings.Contains(buf2.String(), "spare") {
+		t.Error("GUI export missing annotated objects")
+	}
+}
+
+func TestPublicAPIPool(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.SpecA100())
+	prof := drgpum.Attach(dev, drgpum.DefaultConfig())
+	pool := drgpum.NewPool(dev, 32<<10)
+	prof.AttachPool(pool)
+
+	tensor, err := pool.Alloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Annotate(tensor, "t0", 4)
+	if err := pool.Free(tensor); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := prof.Finish()
+	// The tensor is a report object; the backing segment is not.
+	found := false
+	for _, o := range rep.Trace.Objects {
+		if o.Label == "t0" && o.Pool {
+			found = true
+		}
+		if o.PoolSegment && len(o.Accesses) > 0 {
+			t.Error("segment carries accesses")
+		}
+	}
+	if !found {
+		t.Error("pool tensor missing from the trace")
+	}
+}
+
+func TestAllPatternsExported(t *testing.T) {
+	all := drgpum.AllPatterns()
+	if len(all) != 10 {
+		t.Fatalf("AllPatterns = %d", len(all))
+	}
+	if all[0] != drgpum.EarlyAllocation || all[9] != drgpum.StructuredAccess {
+		t.Errorf("pattern order: %v", all)
+	}
+}
+
+func TestFacadeBFCAndHTML(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
+	prof := drgpum.Attach(dev, drgpum.DefaultConfig())
+	arena := drgpum.NewBFC(dev, 64<<10)
+	prof.AttachPool(arena)
+
+	tensor, err := arena.Alloc(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Annotate(tensor, "w0", 4)
+	if err := dev.MemcpyHtoD(tensor, make([]byte, 2048), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := arena.Free(tensor); err != nil {
+		t.Fatal(err)
+	}
+	if err := arena.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := prof.Finish()
+	var buf bytes.Buffer
+	if err := drgpum.ExportHTML(rep, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "w0") {
+		t.Error("HTML export missing the BFC tensor")
+	}
+
+	// Offline round trip through the facade.
+	buf.Reset()
+	if err := rep.SaveProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := drgpum.AnalyzeProfile(&buf, drgpum.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Trace.Objects) != len(rep.Trace.Objects) {
+		t.Error("offline round trip lost objects")
+	}
+}

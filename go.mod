@@ -1,0 +1,3 @@
+module drgpum
+
+go 1.22

@@ -1,0 +1,119 @@
+// Package gpusim is the public surface of the deterministic GPU runtime
+// simulator that DrGPUM profiles.
+//
+// The simulator provides a CUDA-shaped API — device memory allocation,
+// host/device copies, memsets, streams, and kernel launches — plus the
+// instrumentation points the profiler consumes. Kernels are ordinary Go
+// functions that perform all memory traffic through an ExecContext:
+//
+//	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
+//	buf, _ := dev.Malloc(4096)
+//	dev.MemcpyHtoD(buf, data, nil)
+//	dev.LaunchFunc(nil, "scale", gpusim.Dim1(4), gpusim.Dim1(256),
+//	    func(ctx *gpusim.ExecContext) {
+//	        for i := 0; i < 1024; i++ {
+//	            addr := buf + gpusim.DevicePtr(i*4)
+//	            ctx.StoreF32(addr, ctx.LoadF32(addr)*2)
+//	        }
+//	    })
+//	dev.MemcpyDtoH(out, buf, nil)
+//	dev.Free(buf)
+//
+// A latency/bandwidth cost model makes simulated execution time respond to
+// memory placement (global vs shared) and precision (FP32 vs FP64) the way
+// real devices do, so the paper's optimization speedups are measurable.
+// Everything is deterministic: stream concurrency is modelled with
+// per-stream simulated clocks, not goroutines.
+package gpusim
+
+import "drgpum/internal/gpu"
+
+// Device is a simulated GPU.
+type Device = gpu.Device
+
+// DeviceSpec configures a simulated device.
+type DeviceSpec = gpu.DeviceSpec
+
+// Stream is an in-order execution queue with its own simulated clock.
+type Stream = gpu.Stream
+
+// Kernel is simulated device code.
+type Kernel = gpu.Kernel
+
+// KernelFunc adapts a plain function to the Kernel interface.
+type KernelFunc = gpu.KernelFunc
+
+// ExecContext is the device-side execution environment handed to kernels.
+type ExecContext = gpu.ExecContext
+
+// DevicePtr is a virtual device address.
+type DevicePtr = gpu.DevicePtr
+
+// Dim3 is a CUDA-style launch dimension.
+type Dim3 = gpu.Dim3
+
+// Range is a half-open device address interval.
+type Range = gpu.Range
+
+// MemAccess is one executed memory instruction as seen by instrumentation.
+type MemAccess = gpu.MemAccess
+
+// APIRecord describes one completed GPU API invocation.
+type APIRecord = gpu.APIRecord
+
+// Hook observes device activity (the Sanitizer-API analog).
+type Hook = gpu.Hook
+
+// PatchLevel selects how much instrumentation is applied.
+type PatchLevel = gpu.PatchLevel
+
+// Patch levels.
+const (
+	PatchNone = gpu.PatchNone
+	PatchAPI  = gpu.PatchAPI
+	PatchFull = gpu.PatchFull
+)
+
+// MemcpyKind is a copy direction.
+type MemcpyKind = gpu.MemcpyKind
+
+// Copy directions.
+const (
+	CopyHostToDevice   = gpu.CopyHostToDevice
+	CopyDeviceToHost   = gpu.CopyDeviceToHost
+	CopyDeviceToDevice = gpu.CopyDeviceToDevice
+)
+
+// AllocStats is a device-allocator accounting snapshot.
+type AllocStats = gpu.AllocStats
+
+// Errors surfaced by the device.
+var (
+	ErrOutOfMemory = gpu.ErrOutOfMemory
+	ErrInvalidFree = gpu.ErrInvalidFree
+	ErrBadCopy     = gpu.ErrBadCopy
+)
+
+// NewDevice creates a device with the given spec.
+func NewDevice(spec DeviceSpec) *Device { return gpu.NewDevice(spec) }
+
+// SpecRTX3090 returns the simulated NVIDIA RTX 3090 configuration (one of
+// the paper's two evaluation platforms, Table 3).
+func SpecRTX3090() DeviceSpec { return gpu.SpecRTX3090() }
+
+// SpecA100 returns the simulated NVIDIA A100 configuration.
+func SpecA100() DeviceSpec { return gpu.SpecA100() }
+
+// Dim1 builds a one-dimensional launch dimension.
+func Dim1(x int) Dim3 { return gpu.Dim1(x) }
+
+// Event is a CUDA-style stream marker for cross-stream ordering and
+// simulated timing (create with Device.NewEvent, capture with
+// Device.EventRecord, order with Device.StreamWaitEvent).
+type Event = gpu.Event
+
+// ErrEventNotRecorded is returned when waiting on an unrecorded event.
+var ErrEventNotRecorded = gpu.ErrEventNotRecorded
+
+// EventElapsed returns the simulated cycles between two recorded events.
+func EventElapsed(start, end *Event) (uint64, error) { return gpu.EventElapsed(start, end) }

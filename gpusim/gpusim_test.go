@@ -1,0 +1,126 @@
+package gpusim_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"drgpum/gpusim"
+)
+
+// TestPublicSimulatorSurface drives the documented simulator workflow
+// through the public package only: allocation, transfers, a kernel, events
+// and stream overlap.
+func TestPublicSimulatorSurface(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.SpecA100())
+	if dev.Spec().Name != "A100" {
+		t.Fatalf("spec = %+v", dev.Spec())
+	}
+
+	buf, err := dev.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bytes.Repeat([]byte{3}, 4096)
+	if err := dev.MemcpyHtoD(buf, src, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := dev.LaunchFunc(nil, "inc", gpusim.Dim1(4), gpusim.Dim1(256),
+		func(ctx *gpusim.ExecContext) {
+			for i := 0; i < 1024; i++ {
+				addr := buf + gpusim.DevicePtr(i*4)
+				ctx.StoreU32(addr, ctx.LoadU32(addr)+1)
+			}
+		}); err != nil {
+		t.Fatal(err)
+	}
+
+	out := make([]byte, 4)
+	if err := dev.MemcpyDtoH(out, buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 0x03030303 + 1.
+	got := uint32(out[0]) | uint32(out[1])<<8 | uint32(out[2])<<16 | uint32(out[3])<<24
+	if got != 0x03030304 {
+		t.Errorf("kernel result = %#x", got)
+	}
+
+	if err := dev.Free(buf); err != nil {
+		t.Fatal(err)
+	}
+	if dev.MemStats().InUse != 0 {
+		t.Errorf("in use after free = %d", dev.MemStats().InUse)
+	}
+}
+
+func TestPublicEventsAndStreams(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
+	s1 := dev.CreateStream()
+	s2 := dev.CreateStream()
+	buf, _ := dev.Malloc(8192)
+
+	start := dev.NewEvent()
+	dev.EventRecord(start, s1)
+	if err := dev.Memset(buf, 0, 8192, s1); err != nil {
+		t.Fatal(err)
+	}
+	mid := dev.NewEvent()
+	dev.EventRecord(mid, s1)
+
+	if err := dev.StreamWaitEvent(s2, mid); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := gpusim.EventElapsed(start, mid)
+	if err != nil || cycles == 0 {
+		t.Errorf("elapsed = %d, %v", cycles, err)
+	}
+	if err := dev.StreamWaitEvent(s2, dev.NewEvent()); !errors.Is(err, gpusim.ErrEventNotRecorded) {
+		t.Errorf("unrecorded wait err = %v", err)
+	}
+	dev.Synchronize()
+}
+
+func TestPublicErrors(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
+	if _, err := dev.Malloc(1 << 60); !errors.Is(err, gpusim.ErrOutOfMemory) {
+		t.Errorf("huge malloc err = %v", err)
+	}
+	if err := dev.Free(0x1234); !errors.Is(err, gpusim.ErrInvalidFree) {
+		t.Errorf("bogus free err = %v", err)
+	}
+	p, _ := dev.Malloc(16)
+	if err := dev.MemcpyHtoD(p, make([]byte, 64), nil); !errors.Is(err, gpusim.ErrBadCopy) {
+		t.Errorf("overlong copy err = %v", err)
+	}
+}
+
+func TestSpecsDiffer(t *testing.T) {
+	r, a := gpusim.SpecRTX3090(), gpusim.SpecA100()
+	if r.GlobalLatency <= a.GlobalLatency {
+		t.Error("the RTX 3090's GDDR6X must have higher simulated latency than the A100's HBM2")
+	}
+	if r.FP64Cycles <= a.FP64Cycles {
+		t.Error("the A100's FP64 units must be faster")
+	}
+	if a.MemoryCapacity <= r.MemoryCapacity {
+		t.Error("the A100 must have more memory")
+	}
+}
+
+// ExampleDevice demonstrates the simulator's kernel model.
+func ExampleDevice() {
+	dev := gpusim.NewDevice(gpusim.SpecA100())
+	buf, _ := dev.Malloc(16)
+	_ = dev.MemcpyHtoD(buf, []byte{10, 0, 0, 0}, nil)
+	_ = dev.LaunchFunc(nil, "triple", gpusim.Dim1(1), gpusim.Dim1(1),
+		func(ctx *gpusim.ExecContext) {
+			ctx.StoreU32(buf, ctx.LoadU32(buf)*3)
+		})
+	out := make([]byte, 4)
+	_ = dev.MemcpyDtoH(out, buf, nil)
+	_ = dev.Free(buf)
+	fmt.Println(out[0])
+	// Output: 30
+}

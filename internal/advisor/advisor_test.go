@@ -1,0 +1,220 @@
+package advisor
+
+import (
+	"testing"
+
+	"drgpum/internal/depgraph"
+	"drgpum/internal/gpu"
+	"drgpum/internal/objlevel"
+	"drgpum/internal/pattern"
+	"drgpum/internal/trace"
+)
+
+// analyze runs a program and returns its annotated trace plus object-level
+// findings.
+func analyze(program func(dev *gpu.Device)) (*trace.Trace, []pattern.Finding) {
+	dev := gpu.NewDevice(gpu.SpecTest())
+	c := trace.NewCollector()
+	dev.SetLiveRangesProvider(c.LiveRanges)
+	dev.AddHook(c)
+	dev.SetPatchLevel(gpu.PatchAPI)
+	program(dev)
+	tr := c.Trace()
+	depgraph.Annotate(tr)
+	return tr, objlevel.Detect(tr, objlevel.DefaultConfig())
+}
+
+func touch(dev *gpu.Device, ptr gpu.DevicePtr) {
+	_ = dev.LaunchFunc(nil, "t", gpu.Dim1(1), gpu.Dim1(1), func(ctx *gpu.ExecContext) {
+		ctx.StoreU32(ptr, 1)
+	})
+}
+
+func TestAdviseUnusedRemoval(t *testing.T) {
+	tr, fs := analyze(func(dev *gpu.Device) {
+		used, _ := dev.Malloc(1000)
+		unused, _ := dev.Malloc(3000)
+		touch(dev, used)
+		_ = dev.Free(used)
+		_ = dev.Free(unused)
+	})
+	est := Advise(tr, fs)
+	if est.OriginalPeak != 4000 {
+		t.Fatalf("original peak = %d", est.OriginalPeak)
+	}
+	if est.EstimatedPeak != 1000 {
+		t.Errorf("estimated peak = %d, want the unused 3000 gone", est.EstimatedPeak)
+	}
+	if est.RemovedBytes != 3000 {
+		t.Errorf("removed = %d", est.RemovedBytes)
+	}
+	if est.ReductionPct != 75 {
+		t.Errorf("reduction = %g", est.ReductionPct)
+	}
+}
+
+func TestAdviseLifetimeTightening(t *testing.T) {
+	// Two 1000-byte objects used back to back but with overlapping slack:
+	// tight lifetimes halve the peak.
+	tr, fs := analyze(func(dev *gpu.Device) {
+		a, _ := dev.Malloc(1000)
+		b, _ := dev.Malloc(1000) // early: first used after a is done
+		touch(dev, a)
+		touch(dev, a)
+		touch(dev, b)
+		touch(dev, b)
+		_ = dev.Free(a) // late: a's last access was long ago
+		_ = dev.Free(b)
+	})
+	est := Advise(tr, fs)
+	if est.OriginalPeak != 2000 {
+		t.Fatalf("original = %d", est.OriginalPeak)
+	}
+	if est.EstimatedPeak != 1000 {
+		t.Errorf("estimated = %d, want tight lifetimes to stop overlapping", est.EstimatedPeak)
+	}
+}
+
+func TestAdviseIdleOffload(t *testing.T) {
+	// p idles across a big phase that allocates q; offloading p during the
+	// gap means they never coexist.
+	tr, fs := analyze(func(dev *gpu.Device) {
+		p, _ := dev.Malloc(2000)
+		touch(dev, p)
+		q, _ := dev.Malloc(2000)
+		touch(dev, q)
+		touch(dev, q)
+		touch(dev, q)
+		touch(dev, q)
+		_ = dev.Free(q)
+		touch(dev, p)
+		_ = dev.Free(p)
+	})
+	est := Advise(tr, fs)
+	if est.OriginalPeak != 4000 {
+		t.Fatalf("original = %d", est.OriginalPeak)
+	}
+	if est.EstimatedPeak >= 4000 {
+		t.Errorf("estimated = %d; the idle window was not exploited", est.EstimatedPeak)
+	}
+}
+
+func TestAdviseShrinkFromSizingFindings(t *testing.T) {
+	tr, fs := analyze(func(dev *gpu.Device) {
+		p, _ := dev.Malloc(10000)
+		touch(dev, p)
+		_ = dev.Free(p)
+	})
+	// Synthesize an overallocation finding (intra-object detection needs
+	// PatchFull; the advisor only consumes the finding).
+	fs = append(fs, pattern.Finding{
+		Pattern:     pattern.Overallocation,
+		Object:      0,
+		WastedBytes: 9000,
+	})
+	est := Advise(tr, fs)
+	if est.EstimatedPeak != 1000 {
+		t.Errorf("estimated = %d, want the object shrunk to 1000", est.EstimatedPeak)
+	}
+	if est.ShrunkBytes != 9000 {
+		t.Errorf("shrunk = %d", est.ShrunkBytes)
+	}
+}
+
+func TestAdviseCleanProgramUnchanged(t *testing.T) {
+	tr, fs := analyze(func(dev *gpu.Device) {
+		p, _ := dev.Malloc(1000)
+		touch(dev, p)
+		_ = dev.Free(p)
+	})
+	if len(fs) != 0 {
+		t.Fatalf("clean program produced findings: %+v", fs)
+	}
+	est := Advise(tr, fs)
+	if est.EstimatedPeak != est.OriginalPeak {
+		t.Errorf("clean program changed: %d -> %d", est.OriginalPeak, est.EstimatedPeak)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	ivs := []interval{{start: 0, end: 10}}
+	got := subtract(ivs, interval{start: 3, end: 5})
+	if len(got) != 2 || got[0] != (interval{0, 3}) || got[1] != (interval{5, 10}) {
+		t.Errorf("split = %+v", got)
+	}
+	got = subtract(got, interval{start: 0, end: 3})
+	if len(got) != 1 || got[0] != (interval{5, 10}) {
+		t.Errorf("prefix removal = %+v", got)
+	}
+	got = subtract(got, interval{start: 20, end: 30})
+	if len(got) != 1 {
+		t.Errorf("disjoint gap changed intervals: %+v", got)
+	}
+	got = subtract(got, interval{start: 0, end: 100})
+	if len(got) != 0 {
+		t.Errorf("covering gap left intervals: %+v", got)
+	}
+}
+
+func TestMarginalSavings(t *testing.T) {
+	tr, fs := analyze(func(dev *gpu.Device) {
+		// big is pure waste sitting on the peak; removing it alone cuts
+		// the peak by its full size.
+		big, _ := dev.Malloc(8000)
+		small, _ := dev.Malloc(1000)
+		touch(dev, small)
+		_ = dev.Free(small)
+		_ = dev.Free(big)
+	})
+	savings := MarginalSavings(tr, fs)
+	if len(savings) != len(fs) {
+		t.Fatalf("savings = %d entries for %d findings", len(savings), len(fs))
+	}
+	for i, f := range fs {
+		switch f.Pattern {
+		case pattern.UnusedAllocation:
+			if savings[i] != 8000 {
+				t.Errorf("UA savings = %d, want 8000", savings[i])
+			}
+		}
+	}
+	// Empty input.
+	if got := MarginalSavings(tr, nil); len(got) != 0 {
+		t.Errorf("nil findings savings = %v", got)
+	}
+}
+
+// BenchmarkAdvise measures the what-if replay on a mid-size trace.
+func BenchmarkAdvise(b *testing.B) {
+	dev := gpu.NewDevice(gpu.SpecRTX3090())
+	c := trace.NewCollector()
+	dev.SetLiveRangesProvider(c.LiveRanges)
+	dev.AddHook(c)
+	dev.SetPatchLevel(gpu.PatchAPI)
+	var live []gpu.DevicePtr
+	for i := 0; i < 400; i++ {
+		p, err := dev.Malloc(uint64(256 * (1 + i%5)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, p)
+		if i%2 == 0 {
+			touch(dev, p)
+		}
+		if i%3 == 2 {
+			_ = dev.Free(live[0])
+			live = live[1:]
+		}
+	}
+	tr := c.Trace()
+	depgraph.Annotate(tr)
+	fs := objlevel.Detect(tr, objlevel.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := Advise(tr, fs)
+		if est.OriginalPeak == 0 {
+			b.Fatal("empty estimate")
+		}
+	}
+	b.ReportMetric(float64(len(fs)), "findings")
+}

@@ -1,0 +1,129 @@
+// Package baselines implements the two comparison tools of the paper's
+// Table 5 on top of the same instrumentation interface DrGPUM uses:
+//
+//   - Memcheck mirrors NVIDIA Compute Sanitizer's memcheck substrate: a
+//     memory-error checker that reports leaks, out-of-bounds accesses and
+//     misaligned accesses — and therefore, of DrGPUM's ten inefficiency
+//     patterns, can surface only memory leaks.
+//   - ValueExpert mirrors the value-pattern profiler of Zhou et al.
+//     (ASPLOS 2022): it tracks the values flowing through memory and
+//     reports value-level redundancies — and of DrGPUM's patterns can only
+//     let a user reason about unused allocations (objects whose value sets
+//     stay empty).
+//
+// Running both baselines over the same workloads demonstrates the paper's
+// claim that existing tools, built for different questions, miss the
+// value-agnostic object-level and intra-object inefficiencies DrGPUM
+// targets.
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/pattern"
+)
+
+// LeakRecord is one unfreed allocation at end of execution.
+type LeakRecord struct {
+	Ptr  gpu.DevicePtr
+	Size uint64
+}
+
+// OOBRecord is one out-of-bounds kernel access.
+type OOBRecord struct {
+	Kernel string
+	Fault  gpu.Fault
+}
+
+// MisalignedRecord is one access whose address is not a multiple of its
+// width.
+type MisalignedRecord struct {
+	Kernel string
+	Addr   gpu.DevicePtr
+	Size   uint32
+}
+
+// Memcheck is the Compute-Sanitizer-style checker. Register it as a device
+// hook (PatchFull gives it per-access visibility for the misalignment
+// check; PatchAPI suffices for leaks and faults).
+type Memcheck struct {
+	live   map[gpu.DevicePtr]uint64
+	oob    []OOBRecord
+	misal  []MisalignedRecord
+	curKrn string
+}
+
+var _ gpu.Hook = (*Memcheck)(nil)
+
+// NewMemcheck creates an empty checker.
+func NewMemcheck() *Memcheck {
+	return &Memcheck{live: make(map[gpu.DevicePtr]uint64)}
+}
+
+// OnAPI implements gpu.Hook: it tracks allocation lifetimes and collects
+// kernel faults.
+func (m *Memcheck) OnAPI(rec *gpu.APIRecord) {
+	switch rec.Kind {
+	case gpu.APIMalloc:
+		if !rec.Custom { // memcheck sees only driver-level allocations
+			m.live[rec.Ptr] = rec.Size
+		}
+	case gpu.APIFree:
+		if !rec.Custom {
+			delete(m.live, rec.Ptr)
+		}
+	case gpu.APIKernel:
+		for _, f := range rec.Faults {
+			m.oob = append(m.oob, OOBRecord{Kernel: rec.Name, Fault: f})
+		}
+	}
+}
+
+// OnAccessBatch implements gpu.Hook: the misalignment check.
+func (m *Memcheck) OnAccessBatch(rec *gpu.APIRecord, batch []gpu.MemAccess) {
+	for _, a := range batch {
+		if a.Space != gpu.SpaceGlobal || a.Size == 0 {
+			continue
+		}
+		if uint64(a.Addr)%uint64(a.Size) != 0 {
+			m.misal = append(m.misal, MisalignedRecord{Kernel: rec.Name, Addr: a.Addr, Size: a.Size})
+		}
+	}
+}
+
+// Leaks returns the unfreed allocations, in address order.
+func (m *Memcheck) Leaks() []LeakRecord {
+	out := make([]LeakRecord, 0, len(m.live))
+	for p, s := range m.live {
+		out = append(out, LeakRecord{Ptr: p, Size: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ptr < out[j].Ptr })
+	return out
+}
+
+// OOB returns the out-of-bounds accesses observed.
+func (m *Memcheck) OOB() []OOBRecord { return m.oob }
+
+// Misaligned returns the misaligned accesses observed.
+func (m *Memcheck) Misaligned() []MisalignedRecord { return m.misal }
+
+// DetectedPatterns maps the checker's output onto DrGPUM's pattern space:
+// of the ten patterns, memcheck can only evidence memory leaks (Table 5).
+func (m *Memcheck) DetectedPatterns() []pattern.Pattern {
+	if len(m.live) > 0 {
+		return []pattern.Pattern{pattern.MemoryLeak}
+	}
+	return nil
+}
+
+// Summary renders a memcheck-style report line.
+func (m *Memcheck) Summary() string {
+	var leaked uint64
+	for _, s := range m.live {
+		leaked += s
+	}
+	return fmt.Sprintf("memcheck: %d leaked allocation(s) (%d bytes), %d out-of-bounds access(es), %d misaligned access(es)",
+		len(m.live), leaked, len(m.oob), len(m.misal))
+}

@@ -1,0 +1,159 @@
+// Package callpath captures and interns host call paths.
+//
+// DrGPUM unwinds the call path of every GPU API invocation with libunwind and
+// later maps program-counter addresses to source lines via DWARF (paper §4,
+// "offline analyzer"). In Go both steps collapse into one facility:
+// runtime.Callers plus runtime.CallersFrames yield source-attributed frames
+// directly. The package stores unwound paths in a calling-context tree (CCT)
+// and hands out small stable IDs, so a path captured millions of times costs
+// one integer per record.
+package callpath
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// PathID identifies an interned call path. The zero value means "no path".
+type PathID uint32
+
+// Frame is one source-attributed stack frame.
+type Frame struct {
+	// Function is the fully-qualified function name.
+	Function string
+	// File is the source file path.
+	File string
+	// Line is the source line.
+	Line int
+}
+
+// String formats the frame as func (file:line).
+func (f Frame) String() string {
+	file := f.File
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s (%s:%d)", f.Function, file, f.Line)
+}
+
+// node is a CCT node: a program counter plus its parent.
+type node struct {
+	parent PathID
+	pc     uintptr
+}
+
+// Unwinder interns call paths into a calling-context tree. It is not safe
+// for concurrent use; the profiler drives it from a single goroutine, like
+// the rest of the collection pipeline.
+type Unwinder struct {
+	nodes []node // nodes[0] is the root sentinel
+	// children maps (parent, pc) to a node id for O(1) interning.
+	children map[childKey]PathID
+	// frameCache memoizes pc -> Frame resolution.
+	frameCache map[uintptr]Frame
+	// pcBuf is reused across captures.
+	pcBuf []uintptr
+	// MaxDepth bounds captured stacks; 0 means the default of 64.
+	MaxDepth int
+}
+
+type childKey struct {
+	parent PathID
+	pc     uintptr
+}
+
+// NewUnwinder creates an empty calling-context tree.
+func NewUnwinder() *Unwinder {
+	return &Unwinder{
+		nodes:      []node{{}},
+		children:   make(map[childKey]PathID),
+		frameCache: make(map[uintptr]Frame),
+		pcBuf:      make([]uintptr, 64),
+	}
+}
+
+// Capture unwinds the calling goroutine's stack, skipping skip frames above
+// the caller of Capture, and returns the interned path ID. The path is
+// rooted at main (outermost frame) and its leaf is the innermost frame.
+func (u *Unwinder) Capture(skip int) PathID {
+	depth := u.MaxDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	if cap(u.pcBuf) < depth {
+		u.pcBuf = make([]uintptr, depth)
+	}
+	// +2 skips runtime.Callers and Capture itself.
+	n := runtime.Callers(skip+2, u.pcBuf[:depth])
+	if n == 0 {
+		return 0
+	}
+	pcs := u.pcBuf[:n]
+	// Intern from the outermost frame down so shared prefixes share nodes.
+	id := PathID(0)
+	for i := n - 1; i >= 0; i-- {
+		id = u.intern(id, pcs[i])
+	}
+	return id
+}
+
+// intern returns the node for (parent, pc), creating it if needed.
+func (u *Unwinder) intern(parent PathID, pc uintptr) PathID {
+	k := childKey{parent: parent, pc: pc}
+	if id, ok := u.children[k]; ok {
+		return id
+	}
+	id := PathID(len(u.nodes))
+	u.nodes = append(u.nodes, node{parent: parent, pc: pc})
+	u.children[k] = id
+	return id
+}
+
+// Frames resolves a path ID into frames, leaf first. A zero ID yields nil.
+func (u *Unwinder) Frames(id PathID) []Frame {
+	var out []Frame
+	for id != 0 {
+		n := u.nodes[id]
+		out = append(out, u.resolve(n.pc))
+		id = n.parent
+	}
+	return out
+}
+
+// Leaf resolves just the innermost frame of a path, which is what reports
+// show by default (the source line of the GPU API call site).
+func (u *Unwinder) Leaf(id PathID) (Frame, bool) {
+	if id == 0 || int(id) >= len(u.nodes) {
+		return Frame{}, false
+	}
+	return u.resolve(u.nodes[id].pc), true
+}
+
+// resolve maps a pc to a source frame, with memoization.
+func (u *Unwinder) resolve(pc uintptr) Frame {
+	if f, ok := u.frameCache[pc]; ok {
+		return f
+	}
+	frames := runtime.CallersFrames([]uintptr{pc})
+	rf, _ := frames.Next()
+	f := Frame{Function: rf.Function, File: rf.File, Line: rf.Line}
+	u.frameCache[pc] = f
+	return f
+}
+
+// Format renders a path as a multi-line string, leaf first, indenting each
+// caller one step — the layout DrGPUM's GUI uses in its detail pane.
+func (u *Unwinder) Format(id PathID) string {
+	return formatFrames(u.Frames(id))
+}
+
+// FormatTrimmed is Format restricted to frames outside the profiler runtime:
+// frames from packages matching any of the given prefixes are dropped, which
+// keeps reports focused on application code.
+func (u *Unwinder) FormatTrimmed(id PathID, dropPrefixes ...string) string {
+	return formatFrames(trimFrames(u.Frames(id), dropPrefixes))
+}
+
+// Size returns the number of interned nodes (excluding the root sentinel).
+func (u *Unwinder) Size() int { return len(u.nodes) - 1 }

@@ -1,0 +1,162 @@
+package callpath
+
+import (
+	"strings"
+	"testing"
+)
+
+// callSiteA and callSiteB give the unwinder two distinct, named frames.
+func callSiteA(u *Unwinder) PathID { return callSiteInner(u) }
+func callSiteB(u *Unwinder) PathID { return callSiteInner(u) }
+func callSiteInner(u *Unwinder) PathID {
+	return u.Capture(0)
+}
+
+func TestCaptureDistinguishesCallers(t *testing.T) {
+	u := NewUnwinder()
+	a := callSiteA(u)
+	b := callSiteB(u)
+	if a == 0 || b == 0 {
+		t.Fatal("capture returned the zero path")
+	}
+	if a == b {
+		t.Error("different call paths interned to the same ID")
+	}
+
+	fa := u.Frames(a)
+	if len(fa) < 3 {
+		t.Fatalf("path too shallow: %v", fa)
+	}
+	if !strings.Contains(fa[0].Function, "callSiteInner") {
+		t.Errorf("leaf frame = %v, want callSiteInner", fa[0])
+	}
+	if !strings.Contains(fa[1].Function, "callSiteA") {
+		t.Errorf("second frame = %v, want callSiteA", fa[1])
+	}
+}
+
+func TestCaptureInternsIdenticalPaths(t *testing.T) {
+	u := NewUnwinder()
+	var ids []PathID
+	var sizes []int
+	for i := 0; i < 5; i++ {
+		ids = append(ids, loopCapture(u))
+		sizes = append(sizes, u.Size())
+	}
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("identical call paths got different IDs: %v", ids)
+		}
+	}
+	// Repeating the same capture must not grow the tree.
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != sizes[0] {
+			t.Fatalf("tree grew on repeated capture: %v", sizes)
+		}
+	}
+}
+
+func loopCapture(u *Unwinder) PathID { return u.Capture(0) }
+
+func TestCaptureSkip(t *testing.T) {
+	u := NewUnwinder()
+	id := wrapperCapture(u, 1) // skip the wrapper itself
+	leaf, ok := u.Leaf(id)
+	if !ok {
+		t.Fatal("no leaf")
+	}
+	if strings.Contains(leaf.Function, "wrapperCapture") {
+		t.Errorf("skip=1 should hide the wrapper; leaf = %v", leaf)
+	}
+}
+
+func wrapperCapture(u *Unwinder, skip int) PathID { return u.Capture(skip) }
+
+func TestLeafAndFormat(t *testing.T) {
+	u := NewUnwinder()
+	id := callSiteA(u)
+	leaf, ok := u.Leaf(id)
+	if !ok || leaf.Line == 0 || leaf.File == "" {
+		t.Errorf("leaf = %+v", leaf)
+	}
+	text := u.Format(id)
+	if !strings.Contains(text, "callSiteInner") || !strings.Contains(text, "callSiteA") {
+		t.Errorf("Format output missing frames:\n%s", text)
+	}
+	if !strings.Contains(text, "callpath_test.go:") {
+		t.Errorf("Format output missing file:line:\n%s", text)
+	}
+}
+
+func TestFormatTrimmed(t *testing.T) {
+	u := NewUnwinder()
+	id := callSiteA(u)
+	trimmed := u.FormatTrimmed(id, "drgpum/internal/callpath.callSiteInner")
+	if strings.Contains(trimmed, "callSiteInner") {
+		t.Errorf("trim did not drop the inner frame:\n%s", trimmed)
+	}
+	if !strings.Contains(trimmed, "callSiteA") {
+		t.Errorf("trim dropped too much:\n%s", trimmed)
+	}
+}
+
+func TestZeroPath(t *testing.T) {
+	u := NewUnwinder()
+	if frames := u.Frames(0); frames != nil {
+		t.Errorf("Frames(0) = %v", frames)
+	}
+	if _, ok := u.Leaf(0); ok {
+		t.Error("Leaf(0) should not resolve")
+	}
+}
+
+func TestSharedPrefixSharing(t *testing.T) {
+	u := NewUnwinder()
+	_ = callSiteA(u)
+	before := u.Size()
+	_ = callSiteB(u)
+	after := u.Size()
+	// The two paths differ only near the leaf; the common prefix (test
+	// harness frames) must be shared, so the growth is small.
+	if grown := after - before; grown > 3 {
+		t.Errorf("second sibling path added %d nodes; prefixes are not shared", grown)
+	}
+}
+
+func TestFrozenResolverMatchesLive(t *testing.T) {
+	u := NewUnwinder()
+	id := callSiteA(u)
+	frozen := NewFrozen(u.Export())
+
+	if got, want := frozen.Format(id), u.Format(id); got != want {
+		t.Errorf("frozen Format differs:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := frozen.FormatTrimmed(id, "testing."), u.FormatTrimmed(id, "testing."); got != want {
+		t.Errorf("frozen FormatTrimmed differs")
+	}
+	fl, okF := frozen.Leaf(id)
+	ul, okU := u.Leaf(id)
+	if okF != okU || fl != ul {
+		t.Errorf("frozen Leaf = %v,%v vs %v,%v", fl, okF, ul, okU)
+	}
+	if _, ok := frozen.Leaf(0); ok {
+		t.Error("frozen Leaf(0) resolved")
+	}
+	if frozen.Frames(9999) != nil {
+		t.Error("frozen unknown path resolved")
+	}
+	// A nil map is usable.
+	empty := NewFrozen(nil)
+	if empty.Format(1) != "" {
+		t.Error("empty frozen resolver returned frames")
+	}
+}
+
+func TestMaxDepthBoundsCapture(t *testing.T) {
+	u := NewUnwinder()
+	u.MaxDepth = 2
+	id := callSiteA(u)
+	if got := len(u.Frames(id)); got > 2 {
+		t.Errorf("captured %d frames with MaxDepth=2", got)
+	}
+}

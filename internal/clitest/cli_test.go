@@ -1,0 +1,180 @@
+// Package clitest builds the real command-line binaries and exercises
+// their flag plumbing end to end: the record → save → offline-analysis
+// pipeline, the artifact-style result files, and the figure exports.
+package clitest
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binDir holds the binaries built once for the whole package.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "drgpum-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	build := exec.Command("go", "build", "-o", binDir, "./cmd/...")
+	build.Dir = repoRoot()
+	if out, err := build.CombinedOutput(); err != nil {
+		panic("building CLIs: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// repoRoot locates the module root relative to this package.
+func repoRoot() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // internal/clitest -> repo root
+}
+
+// run executes one built binary and returns its stdout.
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	out, err := cmd.Output()
+	if err != nil {
+		stderr := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			stderr = string(ee.Stderr)
+		}
+		t.Fatalf("%s %v: %v\n%s", name, args, err, stderr)
+	}
+	return string(out)
+}
+
+func TestDrgpumListAndProfile(t *testing.T) {
+	list := run(t, "drgpum", "-list")
+	if !strings.Contains(list, "rodinia/huffman") || !strings.Contains(list, "simplemulticopy") {
+		t.Fatalf("-list output:\n%s", list)
+	}
+
+	text := run(t, "drgpum", "-workload", "simplemulticopy", "-verbose")
+	for _, want := range []string{"DrGPUM report", "d_data_out1", "Early Allocation", "suggestion:", "allocated at:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("profile output missing %q", want)
+		}
+	}
+}
+
+func TestDrgpumJSONOutput(t *testing.T) {
+	out := run(t, "drgpum", "-workload", "polybench/2mm", "-json")
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("-json output is not JSON: %v", err)
+	}
+	if decoded["device"] != "RTX3090" {
+		t.Errorf("device = %v", decoded["device"])
+	}
+	if n, _ := decoded["findings"].([]any); len(n) == 0 {
+		t.Error("no findings in JSON output")
+	}
+}
+
+func TestSaveAnalyzePipeline(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "profile.json")
+	run(t, "drgpum", "-workload", "laghos", "-mode", "object", "-save", prof)
+
+	if _, err := os.Stat(prof); err != nil {
+		t.Fatal(err)
+	}
+	// Default threshold: the canonical report.
+	out := run(t, "drgpum-analyze", "-in", prof)
+	if !strings.Contains(out, "q_dx") || !strings.Contains(out, "Late Deallocation") {
+		t.Errorf("analyze output missing the Listing 1 finding:\n%s", out)
+	}
+	// Stricter idleness bar yields at least as many findings.
+	loose := run(t, "drgpum-analyze", "-in", prof, "-ti", "2")
+	if strings.Count(loose, "Temporary Idleness") < strings.Count(out, "Temporary Idleness") {
+		t.Error("lower threshold reported fewer idleness findings")
+	}
+}
+
+func TestExportsAndVariantFlag(t *testing.T) {
+	dir := t.TempDir()
+	gui := filepath.Join(dir, "liveness.json")
+	html := filepath.Join(dir, "report.html")
+	run(t, "drgpum", "-workload", "simplemulticopy", "-gui", gui, "-html", html)
+
+	guiData, err := os.ReadFile(gui)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(guiData, &doc); err != nil {
+		t.Fatalf("GUI trace is not JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Error("GUI trace missing traceEvents")
+	}
+	htmlData, err := os.ReadFile(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(htmlData), "<!DOCTYPE html>") {
+		t.Error("HTML report malformed")
+	}
+
+	// The optimized variant of simplemulticopy halves the peak.
+	naive := run(t, "drgpum", "-workload", "simplemulticopy", "-variant", "naive")
+	opt := run(t, "drgpum", "-workload", "simplemulticopy", "-variant", "optimized")
+	if !strings.Contains(naive, "memory peak #1: 262144") || !strings.Contains(opt, "memory peak #1: 131072") {
+		t.Error("variant flag did not change the profile")
+	}
+}
+
+func TestDiffMode(t *testing.T) {
+	out := run(t, "drgpum", "-workload", "rodinia/huffman", "-diff")
+	for _, want := range []string{"data-object peak:", "-68%", "advisor predicted", "finding(s) eliminated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTablesResultsDir(t *testing.T) {
+	dir := t.TempDir()
+	run(t, "drgpum-tables", "-table", "1", "-o", dir)
+	data, err := os.ReadFile(filepath.Join(dir, "patterns.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "xsbench") {
+		t.Error("patterns.txt incomplete")
+	}
+}
+
+func TestCompareCLI(t *testing.T) {
+	out := run(t, "drgpum-compare")
+	if !strings.Contains(out, "Compute Sanitizer") || strings.Count(out, "Yes") < 11 {
+		t.Errorf("compare output:\n%s", out)
+	}
+}
+
+func TestAnalyzeBaselineComparison(t *testing.T) {
+	dir := t.TempDir()
+	naive := filepath.Join(dir, "naive.json")
+	opt := filepath.Join(dir, "opt.json")
+	run(t, "drgpum", "-workload", "rodinia/huffman", "-mode", "object", "-save", naive)
+	run(t, "drgpum", "-workload", "rodinia/huffman", "-variant", "optimized", "-mode", "object", "-save", opt)
+
+	out := run(t, "drgpum-analyze", "-in", opt, "-baseline", naive)
+	for _, want := range []string{"data-object peak:", "(-68%)", "d_cw32", "eliminated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("baseline comparison missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"drgpum/internal/pattern"
+)
+
+// FindingDelta describes one finding's fate between two profiles of the
+// same program (e.g. before and after applying fixes). Findings are
+// matched by pattern and object display name, since object IDs are
+// run-local.
+type FindingDelta struct {
+	Pattern pattern.Pattern
+	Object  string
+	// Fixed is true when the finding exists in the baseline but not in the
+	// candidate.
+	Fixed bool
+}
+
+// Comparison is the outcome of Compare.
+type Comparison struct {
+	// BaselinePeak and CandidatePeak are the data-object peaks.
+	BaselinePeak  uint64
+	CandidatePeak uint64
+	// PeakReductionPct is positive when the candidate improved.
+	PeakReductionPct float64
+	// BaselineCycles and CandidateCycles are simulated times; Speedup is
+	// their ratio (>1 when the candidate is faster).
+	BaselineCycles  uint64
+	CandidateCycles uint64
+	Speedup         float64
+	// Deltas lists every baseline finding with its fate, in the baseline's
+	// severity order.
+	Deltas []FindingDelta
+	// Introduced lists findings present only in the candidate.
+	Introduced []FindingDelta
+	// FixedCount and RemainingCount summarize Deltas.
+	FixedCount     int
+	RemainingCount int
+}
+
+// matchKey builds the cross-run identity of a finding.
+func matchKey(rep *Report, f *pattern.Finding) string {
+	return f.Pattern.Abbrev() + "/" + rep.Trace.Object(f.Object).DisplayName()
+}
+
+// Compare evaluates a candidate profile against a baseline — the Table 4
+// methodology as a library call. Both reports should come from the same
+// program (the baseline typically naive, the candidate optimized).
+func Compare(baseline, candidate *Report) Comparison {
+	c := Comparison{
+		BaselinePeak:    baseline.Peaks.PeakBytes,
+		CandidatePeak:   candidate.Peaks.PeakBytes,
+		BaselineCycles:  baseline.Elapsed,
+		CandidateCycles: candidate.Elapsed,
+	}
+	if c.BaselinePeak > 0 {
+		c.PeakReductionPct = (float64(c.BaselinePeak) - float64(c.CandidatePeak)) / float64(c.BaselinePeak) * 100
+	}
+	if c.CandidateCycles > 0 {
+		c.Speedup = float64(c.BaselineCycles) / float64(c.CandidateCycles)
+	}
+
+	inCandidate := map[string]bool{}
+	for i := range candidate.Findings {
+		inCandidate[matchKey(candidate, &candidate.Findings[i])] = true
+	}
+	inBaseline := map[string]bool{}
+	for i := range baseline.Findings {
+		f := &baseline.Findings[i]
+		key := matchKey(baseline, f)
+		inBaseline[key] = true
+		d := FindingDelta{
+			Pattern: f.Pattern,
+			Object:  baseline.Trace.Object(f.Object).DisplayName(),
+			Fixed:   !inCandidate[key],
+		}
+		if d.Fixed {
+			c.FixedCount++
+		} else {
+			c.RemainingCount++
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for i := range candidate.Findings {
+		f := &candidate.Findings[i]
+		if !inBaseline[matchKey(candidate, f)] {
+			c.Introduced = append(c.Introduced, FindingDelta{
+				Pattern: f.Pattern,
+				Object:  candidate.Trace.Object(f.Object).DisplayName(),
+			})
+		}
+	}
+	return c
+}
+
+// Render writes the comparison in the CLI diff layout.
+func (c Comparison) Render(w io.Writer) {
+	fmt.Fprintf(w, "  data-object peak: %d -> %d bytes", c.BaselinePeak, c.CandidatePeak)
+	if c.PeakReductionPct > 0 {
+		fmt.Fprintf(w, " (-%.0f%%)", c.PeakReductionPct)
+	} else if c.PeakReductionPct < 0 {
+		fmt.Fprintf(w, " (+%.0f%%)", -c.PeakReductionPct)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  simulated time:   %d -> %d cycles", c.BaselineCycles, c.CandidateCycles)
+	if c.Speedup > 1.005 {
+		fmt.Fprintf(w, " (%.2fx speedup)", c.Speedup)
+	}
+	fmt.Fprintln(w)
+	for _, d := range c.Deltas {
+		state := "remains"
+		if d.Fixed {
+			state = "fixed"
+		}
+		fmt.Fprintf(w, "  [%-7s] %-28s %s\n", state, d.Pattern, d.Object)
+	}
+	for _, d := range c.Introduced {
+		fmt.Fprintf(w, "  [new    ] %-28s %s\n", d.Pattern, d.Object)
+	}
+	fmt.Fprintf(w, "  %d finding(s) eliminated, %d remaining, %d introduced\n",
+		c.FixedCount, c.RemainingCount, len(c.Introduced))
+}

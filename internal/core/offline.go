@@ -1,0 +1,80 @@
+package core
+
+import (
+	"io"
+	"sort"
+
+	"drgpum/internal/advisor"
+	"drgpum/internal/depgraph"
+	"drgpum/internal/gpu"
+	"drgpum/internal/objlevel"
+	"drgpum/internal/pattern"
+	"drgpum/internal/peak"
+	"drgpum/internal/profile"
+	"drgpum/internal/trace"
+)
+
+// SaveProfile serializes the report's trace and run metadata as a profile
+// file that AnalyzeProfile can re-analyze later — the persistent form of
+// the paper's online-collector/offline-analyzer split (§4).
+func (r *Report) SaveProfile(w io.Writer) error {
+	return profile.Save(r.Trace, profile.Meta{
+		Device:    r.Device,
+		Cycles:    r.Elapsed,
+		PeakBytes: r.MemStats.Peak,
+	}, w)
+}
+
+// AnalyzeProfile loads a saved profile and re-runs the offline analyses —
+// dependency ordering, peak mining, and the object-level detectors — under
+// the given thresholds. Because every §3 threshold is user-tunable, this
+// lets a saved run be re-examined under different settings without
+// re-executing the application. Intra-object findings are an online
+// product (the access maps live only during the run) and are not
+// recomputed; re-analysis covers the seven object-level patterns.
+func AnalyzeProfile(rd io.Reader, cfg Config) (*Report, error) {
+	t, meta, err := profile.Load(rd)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TopPeaks <= 0 {
+		cfg.TopPeaks = 2
+	}
+	return analyzeLoaded(t, meta, cfg), nil
+}
+
+// analyzeLoaded runs the offline pipeline over a loaded trace.
+func analyzeLoaded(t *trace.Trace, meta profile.Meta, cfg Config) *Report {
+	g := depgraph.Annotate(t)
+	pk := peak.Analyze(t, cfg.TopPeaks)
+	findings := objlevel.Detect(t, cfg.ObjLevel)
+
+	marginal := advisor.MarginalSavings(t, findings)
+	for i := range findings {
+		f := &findings[i]
+		f.OnPeak = pk.OnPeak(f.Object)
+		f.PeakSavingsBytes = marginal[i]
+		f.Suggestion = pattern.Suggest(t, f)
+		f.Severity = severity(f)
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		if findings[i].Severity != findings[j].Severity {
+			return findings[i].Severity > findings[j].Severity
+		}
+		if findings[i].Object != findings[j].Object {
+			return findings[i].Object < findings[j].Object
+		}
+		return findings[i].Pattern < findings[j].Pattern
+	})
+
+	return &Report{
+		Device:   meta.Device,
+		Trace:    t,
+		Graph:    g,
+		Peaks:    pk,
+		Findings: findings,
+		MemStats: gpu.AllocStats{Peak: meta.PeakBytes},
+		Elapsed:  meta.Cycles,
+		Advice:   advisor.Advise(t, findings),
+	}
+}

@@ -1,0 +1,246 @@
+// Package core implements the DrGPUM profiler: it wires the online data
+// collector to a device, drives the dependency and peak analyses, runs the
+// object-level and intra-object pattern detectors, and assembles the final
+// report with call paths, inefficiency distances, severities and
+// optimization suggestions (paper §4's four-stage workflow).
+package core
+
+import (
+	"sort"
+
+	"drgpum/internal/advisor"
+	"drgpum/internal/depgraph"
+	"drgpum/internal/gpu"
+	"drgpum/internal/intraobj"
+	"drgpum/internal/objlevel"
+	"drgpum/internal/pattern"
+	"drgpum/internal/peak"
+	"drgpum/internal/pool"
+	"drgpum/internal/trace"
+)
+
+// Config carries every user-tunable knob the paper describes.
+type Config struct {
+	// Level selects the analysis granularity: gpu.PatchAPI for object-level
+	// analysis only, gpu.PatchFull to add intra-object analysis.
+	Level gpu.PatchLevel
+	// ObjLevel holds the object-level detector thresholds.
+	ObjLevel objlevel.Config
+	// IntraObj holds the intra-object detector thresholds.
+	IntraObj intraobj.Config
+	// TopPeaks is how many memory peaks the analyzer reports (paper: 2).
+	TopPeaks int
+	// KernelWhitelist restricts intra-object instrumentation to the listed
+	// kernel names (paper §5.5). Empty means all kernels.
+	KernelWhitelist []string
+	// SamplingPeriod instruments every Nth launch of each kernel for
+	// intra-object analysis (paper §5.5; Figure 6 uses 100). Values <= 1
+	// instrument every launch.
+	SamplingPeriod int
+	// ObjectIDMode selects the kernel object-identification scheme; the
+	// default is the paper's optimized hit-flag design.
+	ObjectIDMode gpu.ObjectIDMode
+	// DefaultElemSize is assumed for unannotated objects (bytes).
+	DefaultElemSize uint32
+}
+
+// DefaultConfig returns the paper's experimental settings at object-level
+// granularity.
+func DefaultConfig() Config {
+	return Config{
+		Level:           gpu.PatchAPI,
+		ObjLevel:        objlevel.DefaultConfig(),
+		IntraObj:        intraobj.DefaultConfig(),
+		TopPeaks:        2,
+		DefaultElemSize: 4,
+	}
+}
+
+// IntraObjectConfig returns DefaultConfig raised to intra-object
+// granularity.
+func IntraObjectConfig() Config {
+	c := DefaultConfig()
+	c.Level = gpu.PatchFull
+	return c
+}
+
+// Profiler is an attached DrGPUM instance. Attach it before the workload
+// runs; call Finish afterwards to obtain the report.
+type Profiler struct {
+	dev       *gpu.Device
+	cfg       Config
+	collector *trace.Collector
+	recorder  *intraobj.Recorder
+}
+
+// Attach hooks a profiler up to the device and enables instrumentation at
+// the configured level. It must be called before the monitored GPU activity
+// starts; APIs invoked earlier are not observed.
+func Attach(dev *gpu.Device, cfg Config) *Profiler {
+	if cfg.TopPeaks <= 0 {
+		cfg.TopPeaks = 2
+	}
+	if cfg.DefaultElemSize == 0 {
+		cfg.DefaultElemSize = 4
+	}
+	p := &Profiler{dev: dev, cfg: cfg, collector: trace.NewCollector()}
+	p.collector.DefaultElemSize = cfg.DefaultElemSize
+	p.collector.SetHostTraceMode(cfg.ObjectIDMode == gpu.ObjectIDHostTrace)
+
+	if cfg.Level == gpu.PatchFull {
+		p.recorder = intraobj.NewRecorder(dev.Spec().MemoryCapacity)
+		p.recorder.LiveBytes = func() uint64 { return dev.MemStats().InUse }
+		p.collector.SetSink(p.recorder)
+		dev.SetInstrumentFilter(p.instrumentFilter())
+	}
+
+	dev.SetObjectIDMode(cfg.ObjectIDMode)
+	// The hit-flag object table must come from the profiler's memory map M,
+	// not the raw allocator, so pool tensors (paper §5.4) resolve correctly.
+	dev.SetLiveRangesProvider(p.collector.LiveRanges)
+	dev.AddHook(p.collector)
+	dev.SetPatchLevel(cfg.Level)
+	return p
+}
+
+// AttachPool integrates a custom memory allocator (the caching Pool, the
+// BFC arena, or any other pool.Observable): backing segments the allocator
+// reserves are delisted from the memory map so that kernel accesses and
+// pattern analysis operate on the allocator's tensors instead (paper
+// §5.4). Call it right after creating the allocator, before any
+// allocation activity.
+func (p *Profiler) AttachPool(pl pool.Observable) {
+	pl.Register(func(ev pool.Event) {
+		if ev.Kind == pool.EventSegment {
+			p.collector.MarkPoolSegment(ev.Ptr)
+		}
+	})
+}
+
+// instrumentFilter combines the kernel whitelist and sampling period.
+func (p *Profiler) instrumentFilter() func(kernel string, launch uint64) bool {
+	whitelist := make(map[string]bool, len(p.cfg.KernelWhitelist))
+	for _, k := range p.cfg.KernelWhitelist {
+		whitelist[k] = true
+	}
+	period := uint64(1)
+	if p.cfg.SamplingPeriod > 1 {
+		period = uint64(p.cfg.SamplingPeriod)
+	}
+	return func(kernel string, launch uint64) bool {
+		if len(whitelist) > 0 && !whitelist[kernel] {
+			return false
+		}
+		return launch%period == 0
+	}
+}
+
+// ForceHostAccessMaps makes the intra-object recorder behave as if the
+// device had no spare memory for access maps, forcing the host-side update
+// path of the paper's adaptive scheme (§5.5). It exists for the ablation
+// experiments and is a no-op at object-level granularity.
+func (p *Profiler) ForceHostAccessMaps() {
+	if p.recorder != nil {
+		p.recorder.CapacityBytes = 1
+	}
+}
+
+// Annotate labels the live object based at ptr with an application-facing
+// name and element size (0 keeps the default). It reports whether a live
+// object starts at ptr.
+func (p *Profiler) Annotate(ptr gpu.DevicePtr, label string, elemSize uint32) bool {
+	return p.collector.Annotate(ptr, label, elemSize)
+}
+
+// Collector exposes the underlying collector (used by the custom-pool
+// bridge of paper §5.4).
+func (p *Profiler) Collector() *trace.Collector { return p.collector }
+
+// Finish stops collection, runs the offline analyses and returns the
+// report. It is idempotent in effect but must not race with device use.
+func (p *Profiler) Finish() *Report {
+	p.dev.SetPatchLevel(gpu.PatchNone)
+	return p.analyze()
+}
+
+// Snapshot runs the full analysis over everything collected so far and
+// returns a report, without detaching the profiler — the paper's "online
+// pattern detector" view, usable for live dashboards or mid-run
+// checkpoints. Call it between GPU APIs (not from inside a kernel body):
+// the intra-object maps of an in-flight kernel would otherwise be split
+// across two observation windows. Leak and late-deallocation findings in a
+// snapshot describe the state *so far* — an object the program frees later
+// is still reported unfreed here. The returned Report's Findings, Peaks and
+// statistics are point-in-time; its Trace field is a live view that keeps
+// growing as collection continues.
+func (p *Profiler) Snapshot() *Report {
+	return p.analyze()
+}
+
+// analyze builds a report from the current collection state.
+func (p *Profiler) analyze() *Report {
+	t := p.collector.Trace()
+	g := depgraph.Annotate(t)
+	pk := peak.Analyze(t, p.cfg.TopPeaks)
+
+	findings := objlevel.Detect(t, p.cfg.ObjLevel)
+	var modeStats intraobj.ModeStats
+	if p.recorder != nil {
+		findings = append(findings, p.recorder.Detect(p.cfg.IntraObj)...)
+		modeStats = p.recorder.Stats()
+	}
+
+	marginal := advisor.MarginalSavings(t, findings)
+	for i := range findings {
+		f := &findings[i]
+		f.OnPeak = pk.OnPeak(f.Object)
+		f.PeakSavingsBytes = marginal[i]
+		f.Suggestion = pattern.Suggest(t, f)
+		f.Severity = severity(f)
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		if findings[i].Severity != findings[j].Severity {
+			return findings[i].Severity > findings[j].Severity
+		}
+		if findings[i].Object != findings[j].Object {
+			return findings[i].Object < findings[j].Object
+		}
+		return findings[i].Pattern < findings[j].Pattern
+	})
+
+	return &Report{
+		Device:    p.dev.Spec().Name,
+		Trace:     t,
+		Graph:     g,
+		Peaks:     pk,
+		Findings:  findings,
+		MemStats:  p.dev.MemStats(),
+		Elapsed:   p.dev.Elapsed(),
+		ModeStats: modeStats,
+		Recorder:  p.recorder,
+		Advice:    advisor.Advise(t, findings),
+	}
+}
+
+// severity ranks findings for report order: wasted bytes scaled by the
+// inefficiency distance, doubled for objects on a reported memory peak
+// (the paper prioritizes peak-involved objects, §4), and boosted by the
+// advisor's estimate of the peak reduction this fix alone delivers — the
+// strongest prioritization signal, since it measures the actual benefit
+// rather than a proxy.
+func severity(f *pattern.Finding) float64 {
+	s := float64(f.WastedBytes)
+	if f.Distance > 0 {
+		s *= 1 + float64(f.Distance)/64
+	}
+	if f.Pattern == pattern.NonUniformAccessFrequency {
+		// NUAF is a performance pattern, not a wastage pattern; rank by
+		// variation magnitude instead of bytes.
+		s = f.VariationPct * 1024
+	}
+	if f.OnPeak {
+		s *= 2
+	}
+	s += 2 * float64(f.PeakSavingsBytes)
+	return s
+}

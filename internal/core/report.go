@@ -1,0 +1,306 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"drgpum/internal/advisor"
+	"drgpum/internal/depgraph"
+	"drgpum/internal/gpu"
+	"drgpum/internal/intraobj"
+	"drgpum/internal/pattern"
+	"drgpum/internal/peak"
+	"drgpum/internal/trace"
+)
+
+// Report is the profiler's final output: the annotated trace, the
+// dependency graph, the memory-peak analysis, and the ranked findings.
+type Report struct {
+	// Device is the profiled device name.
+	Device string
+	// Trace is the object-level memory access trace with topological
+	// timestamps assigned.
+	Trace *trace.Trace
+	// Graph is the GPU API dependency graph.
+	Graph *depgraph.Graph
+	// Peaks is the memory-peak analysis.
+	Peaks *peak.Analysis
+	// Findings are the detected inefficiencies, most severe first.
+	Findings []pattern.Finding
+	// MemStats is the device allocator snapshot at Finish time.
+	MemStats gpu.AllocStats
+	// Elapsed is the simulated execution time in cycles.
+	Elapsed uint64
+	// ModeStats reports the adaptive intra-object map-mode decisions.
+	ModeStats intraobj.ModeStats
+	// Recorder gives access to intra-object histograms (nil at PatchAPI).
+	Recorder *intraobj.Recorder
+	// Advice is the what-if estimate: the data-object peak the program
+	// would have if every suggestion in Findings were applied.
+	Advice advisor.Estimate
+}
+
+// HasPattern reports whether any finding matches the pattern.
+func (r *Report) HasPattern(p pattern.Pattern) bool {
+	for i := range r.Findings {
+		if r.Findings[i].Pattern == p {
+			return true
+		}
+	}
+	return false
+}
+
+// PatternSet returns the distinct detected patterns in table order — one
+// row of the paper's Table 1.
+func (r *Report) PatternSet() []pattern.Pattern {
+	seen := make(map[pattern.Pattern]bool)
+	for i := range r.Findings {
+		seen[r.Findings[i].Pattern] = true
+	}
+	var out []pattern.Pattern
+	for _, p := range pattern.All() {
+		if seen[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FindingsForObject returns the findings whose object carries the given
+// label, in severity order.
+func (r *Report) FindingsForObject(label string) []pattern.Finding {
+	var out []pattern.Finding
+	for i := range r.Findings {
+		if r.Trace.Object(r.Findings[i].Object).Label == label {
+			out = append(out, r.Findings[i])
+		}
+	}
+	return out
+}
+
+// PatternsForObject returns the distinct patterns detected on the labelled
+// object — one cell group of the paper's Table 4.
+func (r *Report) PatternsForObject(label string) []pattern.Pattern {
+	seen := make(map[pattern.Pattern]bool)
+	for _, f := range r.FindingsForObject(label) {
+		seen[f.Pattern] = true
+	}
+	var out []pattern.Pattern
+	for _, p := range pattern.All() {
+		if seen[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Render writes a human-readable report. With verbose set, call paths and
+// per-finding suggestions are included (the GUI detail-pane content).
+func (r *Report) Render(w io.Writer, verbose bool) {
+	fmt.Fprintf(w, "DrGPUM report — device %s\n", r.Device)
+	fmt.Fprintf(w, "  GPU APIs: %d   data objects: %d   simulated cycles: %d\n",
+		len(r.Trace.APIs), len(r.Trace.Objects), r.Elapsed)
+	fmt.Fprintf(w, "  peak device memory: %d bytes (capacity %d)\n",
+		r.MemStats.Peak, r.MemStats.Capacity)
+	st := trace.ComputeStats(r.Trace)
+	fmt.Fprintf(w, "  API mix: %d alloc / %d free / %d copy (%d B) / %d set (%d B) / %d kernel",
+		st.ByKind[gpu.APIMalloc], st.ByKind[gpu.APIFree],
+		st.ByKind[gpu.APIMemcpy], st.CopyBytes,
+		st.ByKind[gpu.APIMemset], st.SetBytes,
+		st.ByKind[gpu.APIKernel])
+	if st.PoolOps > 0 {
+		fmt.Fprintf(w, " (%d pool ops)", st.PoolOps)
+	}
+	fmt.Fprintf(w, "; %d stream(s)\n", st.Streams)
+	if st.LeakedObjects > 0 {
+		fmt.Fprintf(w, "  unfreed at exit: %d object(s), %d bytes\n", st.LeakedObjects, st.LeakedBytes)
+	}
+	fmt.Fprintf(w, "  %s\n", r.Graph)
+
+	for i, p := range r.Peaks.Peaks {
+		fmt.Fprintf(w, "  memory peak #%d: %d bytes at T=%d, %d object(s) live\n",
+			i+1, p.Bytes, p.Topo, len(p.Live))
+		if verbose {
+			for _, id := range p.Live {
+				o := r.Trace.Object(id)
+				fmt.Fprintf(w, "      %-24s %10d bytes  %v\n", o.DisplayName(), o.Size, o.Range())
+			}
+		}
+	}
+
+	if r.Advice.EstimatedPeak < r.Advice.OriginalPeak {
+		fmt.Fprintf(w, "  applying all suggestions would cut the data-object peak from %d to %d bytes (-%.0f%%)\n",
+			r.Advice.OriginalPeak, r.Advice.EstimatedPeak, r.Advice.ReductionPct)
+	}
+	fmt.Fprintf(w, "  findings: %d\n", len(r.Findings))
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		o := r.Trace.Object(f.Object)
+		peakMark := ""
+		if f.OnPeak {
+			peakMark = "  [on peak]"
+		}
+		fmt.Fprintf(w, "\n  [%d] %s — %s (%d bytes)%s\n", i+1, f.Pattern, o.DisplayName(), o.Size, peakMark)
+		if f.Distance > 0 {
+			fmt.Fprintf(w, "      inefficiency distance: %d\n", f.Distance)
+		}
+		if f.PeakSavingsBytes > 0 {
+			fmt.Fprintf(w, "      fixing this alone saves an estimated %d bytes of peak\n", f.PeakSavingsBytes)
+		}
+		if f.Pattern == pattern.Overallocation {
+			fmt.Fprintf(w, "      accessed elements: %.3g%%   fragmentation: %.3g%%\n",
+				f.AccessedPct, f.FragmentationPct)
+		}
+		if f.Pattern == pattern.NonUniformAccessFrequency {
+			fmt.Fprintf(w, "      access-frequency variation: %.3g%% at kernel %s\n",
+				f.VariationPct, f.AtKernel)
+		}
+		fmt.Fprintf(w, "      suggestion: %s\n", wrap(f.Suggestion, 72, "                  "))
+		if verbose {
+			fmt.Fprintf(w, "      allocated at:\n%s\n",
+				indent(r.Trace.Unwinder.FormatTrimmed(o.AllocPath, "drgpum/internal/gpu.", "drgpum/internal/trace.", "drgpum/internal/core."), "        "))
+		}
+	}
+}
+
+// String renders the non-verbose report.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Render(&b, false)
+	return b.String()
+}
+
+// wrap soft-wraps s at the given width, prefixing continuation lines.
+func wrap(s string, width int, contPrefix string) string {
+	words := strings.Fields(s)
+	if len(words) == 0 {
+		return s
+	}
+	var b strings.Builder
+	line := 0
+	for i, wd := range words {
+		if i > 0 {
+			if line+1+len(wd) > width {
+				b.WriteString("\n")
+				b.WriteString(contPrefix)
+				line = 0
+			} else {
+				b.WriteByte(' ')
+				line++
+			}
+		}
+		b.WriteString(wd)
+		line += len(wd)
+	}
+	return b.String()
+}
+
+// indent prefixes every line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+// jsonFinding is the serialized form of a finding.
+type jsonFinding struct {
+	Pattern          string   `json:"pattern"`
+	Abbrev           string   `json:"abbrev"`
+	Object           string   `json:"object"`
+	ObjectBytes      uint64   `json:"object_bytes"`
+	Partner          string   `json:"partner,omitempty"`
+	APIs             []string `json:"apis,omitempty"`
+	Distance         uint64   `json:"distance,omitempty"`
+	WastedBytes      uint64   `json:"wasted_bytes,omitempty"`
+	AccessedPct      float64  `json:"accessed_pct,omitempty"`
+	FragmentationPct float64  `json:"fragmentation_pct,omitempty"`
+	VariationPct     float64  `json:"variation_pct,omitempty"`
+	Kernel           string   `json:"kernel,omitempty"`
+	PeakSavings      uint64   `json:"peak_savings_bytes,omitempty"`
+	OnPeak           bool     `json:"on_peak"`
+	Suggestion       string   `json:"suggestion"`
+	AllocSite        string   `json:"alloc_site,omitempty"`
+}
+
+// jsonReport is the serialized report envelope.
+type jsonReport struct {
+	Device      string        `json:"device"`
+	APIs        int           `json:"gpu_apis"`
+	Objects     int           `json:"data_objects"`
+	PeakBytes   uint64        `json:"peak_bytes"`
+	Cycles      uint64        `json:"simulated_cycles"`
+	PeakTops    []uint64      `json:"top_peak_bytes"`
+	Findings    []jsonFinding `json:"findings"`
+	DeviceMaps  int           `json:"device_map_kernels,omitempty"`
+	HostMaps    int           `json:"host_map_kernels,omitempty"`
+	GraphString string        `json:"dependency_graph"`
+	// Advice is the what-if estimate of applying every suggestion.
+	AdvicePeak         uint64  `json:"advised_peak_bytes"`
+	AdviceReductionPct float64 `json:"advised_reduction_pct"`
+}
+
+// MarshalJSON serializes the report for machine consumption.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	jr := jsonReport{
+		Device:             r.Device,
+		APIs:               len(r.Trace.APIs),
+		Objects:            len(r.Trace.Objects),
+		PeakBytes:          r.MemStats.Peak,
+		Cycles:             r.Elapsed,
+		DeviceMaps:         r.ModeStats.DeviceKernels,
+		HostMaps:           r.ModeStats.HostKernels,
+		GraphString:        r.Graph.String(),
+		AdvicePeak:         r.Advice.EstimatedPeak,
+		AdviceReductionPct: r.Advice.ReductionPct,
+	}
+	for _, p := range r.Peaks.Peaks {
+		jr.PeakTops = append(jr.PeakTops, p.Bytes)
+	}
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		o := r.Trace.Object(f.Object)
+		jf := jsonFinding{
+			Pattern:          f.Pattern.String(),
+			Abbrev:           f.Pattern.Abbrev(),
+			Object:           o.DisplayName(),
+			ObjectBytes:      o.Size,
+			Distance:         f.Distance,
+			WastedBytes:      f.WastedBytes,
+			AccessedPct:      f.AccessedPct,
+			FragmentationPct: f.FragmentationPct,
+			VariationPct:     f.VariationPct,
+			Kernel:           f.AtKernel,
+			PeakSavings:      f.PeakSavingsBytes,
+			OnPeak:           f.OnPeak,
+			Suggestion:       f.Suggestion,
+		}
+		if f.HasPartner {
+			jf.Partner = r.Trace.Object(f.Partner).DisplayName()
+		}
+		for _, api := range f.APIs {
+			jf.APIs = append(jf.APIs, r.Trace.API(api).Label())
+		}
+		if leaf, ok := r.Trace.Unwinder.Leaf(o.AllocPath); ok {
+			jf.AllocSite = leaf.String()
+		}
+		jr.Findings = append(jr.Findings, jf)
+	}
+	return json.MarshalIndent(jr, "", "  ")
+}
+
+// SortFindingsByObject reorders findings by (object, pattern) — the layout
+// used by table generators. It returns the report for chaining.
+func (r *Report) SortFindingsByObject() *Report {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		if r.Findings[i].Object != r.Findings[j].Object {
+			return r.Findings[i].Object < r.Findings[j].Object
+		}
+		return r.Findings[i].Pattern < r.Findings[j].Pattern
+	})
+	return r
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/pattern"
+)
+
+// stressProgram allocates nObjects short-lived buffers in waves, touching
+// some and abandoning others — the "large codebase where allocations hide
+// deep" scenario the paper motivates UA/ML detection with, at scale.
+func stressProgram(dev *gpu.Device, prof *Profiler, nObjects int) error {
+	const wave = 64
+	var live []gpu.DevicePtr
+	for i := 0; i < nObjects; i++ {
+		p, err := dev.Malloc(uint64(256 * (1 + i%7)))
+		if err != nil {
+			return err
+		}
+		live = append(live, p)
+		if i%3 != 2 { // two thirds get used
+			target := p
+			if err := dev.LaunchFunc(nil, "touch", gpu.Dim1(1), gpu.Dim1(32),
+				func(ctx *gpu.ExecContext) {
+					ctx.StoreU32(target, uint32(i))
+				}); err != nil {
+				return err
+			}
+		}
+		if len(live) >= wave {
+			// Free the wave, except every 16th object (leaks).
+			for j, q := range live {
+				if j%16 == 15 {
+					continue
+				}
+				if err := dev.Free(q); err != nil {
+					return err
+				}
+			}
+			live = live[:0]
+		}
+	}
+	for _, q := range live {
+		if err := dev.Free(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestProfilerAtScale runs a few thousand objects through the full pipeline
+// and sanity-checks the result — primarily a guard against superlinear
+// blowups in the collector, memory map, dependency graph or detectors.
+func TestProfilerAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	const nObjects = 4000
+	dev := gpu.NewDevice(gpu.SpecRTX3090())
+	prof := Attach(dev, DefaultConfig())
+	if err := stressProgram(dev, prof, nObjects); err != nil {
+		t.Fatal(err)
+	}
+	rep := prof.Finish()
+
+	if len(rep.Trace.Objects) != nObjects {
+		t.Fatalf("objects = %d", len(rep.Trace.Objects))
+	}
+	// Leaks: every 16th object of each full wave.
+	var leaks, unused int
+	for _, f := range rep.Findings {
+		switch f.Pattern {
+		case pattern.MemoryLeak:
+			leaks++
+		case pattern.UnusedAllocation:
+			unused++
+		}
+	}
+	// Each full 64-object wave leaks 4 objects; the trailing partial wave
+	// is freed completely.
+	wantLeaks := (nObjects / 64) * 4
+	if leaks != wantLeaks {
+		t.Errorf("leaks = %d, want %d", leaks, wantLeaks)
+	}
+	if unused != nObjects/3 {
+		t.Errorf("unused = %d, want %d", unused, nObjects/3)
+	}
+	// Single stream: timestamps equal invocation order even at scale.
+	for i, a := range rep.Trace.APIs {
+		if a.Topo != uint64(i) {
+			t.Fatalf("API %d topo %d", i, a.Topo)
+		}
+	}
+	// Every finding still renders a suggestion.
+	for i := range rep.Findings {
+		if rep.Findings[i].Suggestion == "" {
+			t.Fatalf("finding %d missing suggestion", i)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderTimeline draws the paper's Figure 2 mental model as text: one row
+// per data object at the top memory peaks, one column per topological
+// timestamp, with the object's lifetime and accesses marked:
+//
+//	[  object allocated        ]  object freed
+//	x  accessed by the GPU API at that timestamp
+//	-  allocated but idle
+//	(blank) not allocated
+//
+// The API lane above the grid prints each timestamp's API label vertically
+// abbreviated as its kind initial (A=alloc, F=free, C=copy, S=set,
+// K=kernel; '*' when several APIs share a timestamp across streams).
+func (r *Report) RenderTimeline(w io.Writer) {
+	var maxTopo uint64
+	for _, a := range r.Trace.APIs {
+		if a.Topo > maxTopo {
+			maxTopo = a.Topo
+		}
+	}
+	width := int(maxTopo) + 1
+	if width == 0 || len(r.Trace.APIs) == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+
+	// API lane: kind initials per timestamp.
+	lane := make([]byte, width)
+	for i := range lane {
+		lane[i] = ' '
+	}
+	for _, a := range r.Trace.APIs {
+		c := a.Rec.Kind.String()[0] // A, F, C, S, K
+		if lane[a.Topo] == ' ' {
+			lane[a.Topo] = c
+		} else if lane[a.Topo] != c {
+			lane[a.Topo] = '*'
+		}
+	}
+
+	// Objects: those live at the reported peaks, in ID order; fall back to
+	// every object for small traces.
+	ids := map[int]bool{}
+	for _, p := range r.Peaks.Peaks {
+		for _, id := range p.Live {
+			ids[int(id)] = true
+		}
+	}
+	if len(ids) == 0 || len(r.Trace.Objects) <= 16 {
+		for i := range r.Trace.Objects {
+			ids[i] = true
+		}
+	}
+
+	nameWidth := 12
+	for i := range r.Trace.Objects {
+		if !ids[i] {
+			continue
+		}
+		if n := len(r.Trace.Objects[i].DisplayName()); n > nameWidth {
+			nameWidth = n
+		}
+	}
+
+	fmt.Fprintf(w, "%-*s  T=0%s\n", nameWidth, "GPU APIs", strings.Repeat(" ", max(0, width-4)))
+	fmt.Fprintf(w, "%-*s  %s\n", nameWidth, "", string(lane))
+
+	for i, o := range r.Trace.Objects {
+		if !ids[i] {
+			continue
+		}
+		row := make([]byte, width)
+		for c := range row {
+			row[c] = ' '
+		}
+		start := r.Trace.API(o.AllocAPI).Topo
+		end := uint64(width - 1)
+		if o.Freed() {
+			end = r.Trace.API(uint64(o.FreeAPI)).Topo
+		}
+		for ts := start; ts <= end && ts < uint64(width); ts++ {
+			row[ts] = '-'
+		}
+		row[start] = '['
+		if o.Freed() {
+			row[end] = ']'
+		}
+		for _, ev := range o.Accesses {
+			row[r.Trace.API(ev.API).Topo] = 'x'
+		}
+		fmt.Fprintf(w, "%-*s  %s\n", nameWidth, o.DisplayName(), string(row))
+	}
+	fmt.Fprintf(w, "%-*s  %s\n", nameWidth, "",
+		legendFor(width))
+}
+
+// legendFor prints the legend, trimmed to the grid width when narrow.
+func legendFor(width int) string {
+	legend := "[ alloc  ] free  x access  - live"
+	if width < len(legend) {
+		return legend
+	}
+	return legend
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

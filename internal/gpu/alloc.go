@@ -1,0 +1,219 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Allocation errors returned by the device allocator.
+var (
+	// ErrOutOfMemory is returned when an allocation does not fit in the
+	// remaining device memory (the cudaErrorMemoryAllocation analog).
+	ErrOutOfMemory = errors.New("gpu: out of device memory")
+	// ErrInvalidFree is returned when freeing a pointer that was not
+	// returned by Malloc or was already freed.
+	ErrInvalidFree = errors.New("gpu: invalid device free")
+)
+
+// allocBase is the first virtual address handed out. Keeping it well above
+// zero makes accidental null-pointer arithmetic visible in traces.
+const allocBase DevicePtr = 0x1000_0000
+
+// block is a live allocation.
+type block struct {
+	addr DevicePtr
+	size uint64 // aligned size actually reserved
+	req  uint64 // size the caller asked for
+	data []byte // backing bytes (len == req)
+	seq  uint64 // allocation sequence number
+}
+
+// freeSpan is a hole in the address space.
+type freeSpan struct {
+	addr DevicePtr
+	size uint64
+}
+
+// Allocator is a first-fit free-list allocator over a virtual device address
+// space. It is the substrate for the paper's peak-memory measurements: it
+// tracks current and peak usage exactly as cudaMalloc bookkeeping would.
+type Allocator struct {
+	capacity  uint64
+	alignment uint64
+
+	free   []freeSpan // sorted by address, coalesced
+	blocks []*block   // sorted by address
+
+	inUse     uint64
+	peak      uint64
+	allocSeq  uint64
+	liveCount int
+}
+
+// NewAllocator creates an allocator managing capacity bytes with the given
+// allocation alignment (must be a power of two; 0 means 256).
+func NewAllocator(capacity, alignment uint64) *Allocator {
+	if alignment == 0 {
+		alignment = 256
+	}
+	if alignment&(alignment-1) != 0 {
+		panic(fmt.Sprintf("gpu: alignment %d is not a power of two", alignment))
+	}
+	return &Allocator{
+		capacity:  capacity,
+		alignment: alignment,
+		free:      []freeSpan{{addr: allocBase, size: capacity}},
+	}
+}
+
+func (a *Allocator) alignUp(n uint64) uint64 {
+	return (n + a.alignment - 1) &^ (a.alignment - 1)
+}
+
+// Alloc reserves size bytes and returns the base address. A zero-byte request
+// is rounded up to one aligned unit, matching cudaMalloc behaviour of
+// returning a unique pointer.
+func (a *Allocator) Alloc(size uint64) (DevicePtr, error) {
+	req := size
+	if size == 0 {
+		size = 1
+	}
+	aligned := a.alignUp(size)
+	for i, span := range a.free {
+		if span.size < aligned {
+			continue
+		}
+		addr := span.addr
+		if span.size == aligned {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i].addr += DevicePtr(aligned)
+			a.free[i].size -= aligned
+		}
+		a.allocSeq++
+		b := &block{addr: addr, size: aligned, req: req, data: make([]byte, req), seq: a.allocSeq}
+		a.insertBlock(b)
+		a.inUse += aligned
+		a.liveCount++
+		if a.inUse > a.peak {
+			a.peak = a.inUse
+		}
+		return addr, nil
+	}
+	return 0, fmt.Errorf("%w: requested %d bytes, %d of %d in use", ErrOutOfMemory, size, a.inUse, a.capacity)
+}
+
+// Free releases the allocation starting exactly at ptr.
+func (a *Allocator) Free(ptr DevicePtr) error {
+	i := a.blockIndex(ptr)
+	if i < 0 {
+		return fmt.Errorf("%w: 0x%x", ErrInvalidFree, uint64(ptr))
+	}
+	b := a.blocks[i]
+	a.blocks = append(a.blocks[:i], a.blocks[i+1:]...)
+	a.inUse -= b.size
+	a.liveCount--
+	a.insertFree(freeSpan{addr: b.addr, size: b.size})
+	return nil
+}
+
+// insertBlock keeps blocks sorted by address.
+func (a *Allocator) insertBlock(b *block) {
+	i := sort.Search(len(a.blocks), func(i int) bool { return a.blocks[i].addr > b.addr })
+	a.blocks = append(a.blocks, nil)
+	copy(a.blocks[i+1:], a.blocks[i:])
+	a.blocks[i] = b
+}
+
+// insertFree inserts a span keeping the list sorted and coalesced.
+func (a *Allocator) insertFree(s freeSpan) {
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > s.addr })
+	a.free = append(a.free, freeSpan{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = s
+	// Coalesce with successor first, then predecessor.
+	if i+1 < len(a.free) && a.free[i].addr+DevicePtr(a.free[i].size) == a.free[i+1].addr {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].addr+DevicePtr(a.free[i-1].size) == a.free[i].addr {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// blockIndex returns the index of the block starting exactly at ptr, or -1.
+func (a *Allocator) blockIndex(ptr DevicePtr) int {
+	i := sort.Search(len(a.blocks), func(i int) bool { return a.blocks[i].addr >= ptr })
+	if i < len(a.blocks) && a.blocks[i].addr == ptr {
+		return i
+	}
+	return -1
+}
+
+// lookup returns the block containing addr, or nil.
+func (a *Allocator) lookup(addr DevicePtr) *block {
+	i := sort.Search(len(a.blocks), func(i int) bool { return a.blocks[i].addr > addr })
+	if i == 0 {
+		return nil
+	}
+	b := a.blocks[i-1]
+	if addr < b.addr+DevicePtr(b.req) {
+		return b
+	}
+	return nil
+}
+
+// AllocStats is a snapshot of allocator accounting.
+type AllocStats struct {
+	// Capacity is the managed address-space size in bytes.
+	Capacity uint64
+	// InUse is the number of bytes currently reserved (aligned sizes).
+	InUse uint64
+	// Peak is the high-water mark of InUse over the allocator's lifetime.
+	Peak uint64
+	// LiveAllocations is the number of outstanding allocations.
+	LiveAllocations int
+	// TotalAllocations counts every Alloc call ever made.
+	TotalAllocations uint64
+	// FreeSpans is the number of holes in the address space; a large number
+	// relative to LiveAllocations indicates external fragmentation.
+	FreeSpans int
+	// LargestFreeSpan is the biggest allocation that would currently succeed.
+	LargestFreeSpan uint64
+}
+
+// Stats returns a snapshot of the allocator's accounting.
+func (a *Allocator) Stats() AllocStats {
+	var largest uint64
+	for _, s := range a.free {
+		if s.size > largest {
+			largest = s.size
+		}
+	}
+	return AllocStats{
+		Capacity:         a.capacity,
+		InUse:            a.inUse,
+		Peak:             a.peak,
+		LiveAllocations:  a.liveCount,
+		TotalAllocations: a.allocSeq,
+		FreeSpans:        len(a.free),
+		LargestFreeSpan:  largest,
+	}
+}
+
+// ResetPeak sets the peak high-water mark back to the current usage. The
+// optimization experiments use this to measure the peak of a specific phase.
+func (a *Allocator) ResetPeak() { a.peak = a.inUse }
+
+// Live returns the address ranges of all outstanding allocations in address
+// order. The ranges report requested (not aligned) sizes, because accesses
+// beyond the requested size are out of bounds.
+func (a *Allocator) Live() []Range {
+	out := make([]Range, len(a.blocks))
+	for i, b := range a.blocks {
+		out[i] = Range{Addr: b.addr, Size: b.req}
+	}
+	return out
+}

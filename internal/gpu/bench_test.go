@@ -1,0 +1,80 @@
+package gpu
+
+import "testing"
+
+// BenchmarkAllocatorChurn measures raw alloc/free throughput (the device
+// allocation fast path under steady churn).
+func BenchmarkAllocatorChurn(b *testing.B) {
+	a := NewAllocator(64<<20, 256)
+	var ptrs [64]DevicePtr
+	for i := range ptrs {
+		p, err := a.Alloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ptrs[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % len(ptrs)
+		if err := a.Free(ptrs[slot]); err != nil {
+			b.Fatal(err)
+		}
+		p, err := a.Alloc(uint64(256 * (1 + i%16)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ptrs[slot] = p
+	}
+}
+
+// kernelAccessBench runs a fixed access volume at the given patch level to
+// quantify per-access instrumentation cost — the microscopic version of
+// Figure 6.
+func kernelAccessBench(b *testing.B, level PatchLevel) {
+	dev := NewDevice(SpecTest())
+	if level != PatchNone {
+		dev.AddHook(&recordingHook{})
+	}
+	dev.SetPatchLevel(level)
+	buf, _ := dev.Malloc(64 << 10)
+	const accesses = 16384
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dev.LaunchFunc(nil, "bench", Dim1(64), Dim1(256), func(ctx *ExecContext) {
+			for j := 0; j < accesses; j++ {
+				ctx.StoreU32(buf+DevicePtr((j%4096)*16), uint32(j))
+			}
+		})
+	}
+	b.ReportMetric(float64(accesses), "accesses/op")
+}
+
+func BenchmarkKernelAccessNative(b *testing.B)      { kernelAccessBench(b, PatchNone) }
+func BenchmarkKernelAccessObjectLvl(b *testing.B)   { kernelAccessBench(b, PatchAPI) }
+func BenchmarkKernelAccessIntraObject(b *testing.B) { kernelAccessBench(b, PatchFull) }
+
+// BenchmarkHitFlagLookup isolates the device-side binary search of the
+// Figure 5 scheme across many live objects.
+func BenchmarkHitFlagLookup(b *testing.B) {
+	dev := NewDevice(DeviceSpec{Name: "bench", MemoryCapacity: 64 << 20, Alignment: 256,
+		CopyBytesPerCycle: 100})
+	dev.AddHook(&recordingHook{})
+	dev.SetPatchLevel(PatchAPI)
+	var ptrs []DevicePtr
+	for i := 0; i < 512; i++ {
+		p, err := dev.Malloc(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dev.LaunchFunc(nil, "scatter", Dim1(1), Dim1(32), func(ctx *ExecContext) {
+			for j := 0; j < 1024; j++ {
+				ctx.StoreU32(ptrs[(j*37)%len(ptrs)], uint32(j))
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package gpu
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// recordingHook captures everything the device emits.
+type recordingHook struct {
+	apis    []*APIRecord
+	batches [][]MemAccess
+}
+
+func (h *recordingHook) OnAPI(rec *APIRecord) { h.apis = append(h.apis, rec) }
+func (h *recordingHook) OnAccessBatch(_ *APIRecord, b []MemAccess) {
+	cp := make([]MemAccess, len(b))
+	copy(cp, b)
+	h.batches = append(h.batches, cp)
+}
+
+func (h *recordingHook) byKind(k APIKind) []*APIRecord {
+	var out []*APIRecord
+	for _, r := range h.apis {
+		if r.Kind == k {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestMemcpyRoundtrip(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	p, err := dev.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 1024)
+	for i := range src {
+		src[i] = byte(i * 3)
+	}
+	if err := dev.MemcpyHtoD(p, src, nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 1024)
+	if err := dev.MemcpyDtoH(dst, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Error("H2D followed by D2H did not round-trip")
+	}
+
+	// Partial copy at an interior offset.
+	if err := dev.MemcpyHtoD(p+100, []byte{0xaa, 0xbb}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.MemcpyDtoH(dst[:4], p+99, nil); err != nil {
+		t.Fatal(err)
+	}
+	if dst[1] != 0xaa || dst[2] != 0xbb {
+		t.Errorf("interior copy: got % x", dst[:4])
+	}
+}
+
+func TestMemcpyDtoD(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	a, _ := dev.Malloc(256)
+	b, _ := dev.Malloc(256)
+	if err := dev.MemcpyHtoD(a, bytes.Repeat([]byte{7}, 256), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.MemcpyDtoD(b, a, 256, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 256)
+	if err := dev.MemcpyDtoH(out, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 7 || out[255] != 7 {
+		t.Errorf("D2D copy content: % x...", out[:4])
+	}
+}
+
+func TestMemsetContent(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	p, _ := dev.Malloc(64)
+	if err := dev.Memset(p, 0x5c, 64, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 64)
+	if err := dev.MemcpyDtoH(out, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 0x5c {
+			t.Fatalf("byte %d = %#x after memset", i, v)
+		}
+	}
+}
+
+func TestCopyBoundsErrors(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	p, _ := dev.Malloc(100)
+	if err := dev.MemcpyHtoD(p, make([]byte, 101), nil); !errors.Is(err, ErrBadCopy) {
+		t.Errorf("overlong copy: %v, want ErrBadCopy", err)
+	}
+	if err := dev.MemcpyHtoD(p+0x100000, make([]byte, 1), nil); !errors.Is(err, ErrBadCopy) {
+		t.Errorf("copy to wild pointer: %v, want ErrBadCopy", err)
+	}
+	if err := dev.Memset(p+96, 0, 8, nil); !errors.Is(err, ErrBadCopy) {
+		t.Errorf("memset crossing the end: %v, want ErrBadCopy", err)
+	}
+}
+
+func TestAPIRecordsAndSeqLabels(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	h := &recordingHook{}
+	dev.AddHook(h)
+	dev.SetPatchLevel(PatchAPI)
+
+	p, _ := dev.Malloc(256)
+	q, _ := dev.Malloc(256)
+	_ = dev.Memset(p, 0, 256, nil)
+	_ = dev.MemcpyHtoD(q, make([]byte, 256), nil)
+	_ = dev.Free(p)
+
+	if len(h.apis) != 5 {
+		t.Fatalf("got %d records, want 5", len(h.apis))
+	}
+	for i, rec := range h.apis {
+		if rec.Index != uint64(i) {
+			t.Errorf("record %d has Index %d", i, rec.Index)
+		}
+	}
+	mallocs := h.byKind(APIMalloc)
+	if mallocs[0].SeqInStream != 0 || mallocs[1].SeqInStream != 1 {
+		t.Errorf("malloc sequence numbers: %d, %d", mallocs[0].SeqInStream, mallocs[1].SeqInStream)
+	}
+	cpy := h.byKind(APIMemcpy)[0]
+	if len(cpy.Writes) != 1 || cpy.Writes[0].Addr != q || cpy.Writes[0].Size != 256 {
+		t.Errorf("H2D write range = %v", cpy.Writes)
+	}
+	if cpy.CopyKind != CopyHostToDevice {
+		t.Errorf("copy kind = %v", cpy.CopyKind)
+	}
+}
+
+func TestPatchNoneEmitsNothing(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	h := &recordingHook{}
+	dev.AddHook(h)
+	// PatchNone is the default: native execution, zero callbacks.
+	p, _ := dev.Malloc(256)
+	_ = dev.Memset(p, 0, 256, nil)
+	_ = dev.LaunchFunc(nil, "k", Dim1(1), Dim1(1), func(ctx *ExecContext) {
+		ctx.StoreU32(p, 42)
+	})
+	if len(h.apis) != 0 || len(h.batches) != 0 {
+		t.Errorf("native execution emitted %d records, %d batches", len(h.apis), len(h.batches))
+	}
+}
+
+func TestStreamClocksAndSynchronize(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	s1 := dev.CreateStream()
+	if s1.ID() != 1 {
+		t.Errorf("first created stream ID = %d, want 1", s1.ID())
+	}
+
+	a, _ := dev.Malloc(1000)
+	b, _ := dev.Malloc(1000)
+	base := dev.Elapsed()
+
+	// Async ops on different streams start from their own clocks.
+	if err := dev.Memset(a, 0, 1000, dev.DefaultStream()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Memset(b, 0, 1000, s1); err != nil {
+		t.Fatal(err)
+	}
+	// Both streams started at base; each memset costs 10 cycles
+	// (1000 bytes / 100 per cycle), so the device time advanced by one
+	// memset, not two: the streams overlapped.
+	if got := dev.Elapsed(); got != base+10 {
+		t.Errorf("elapsed after two overlapping memsets = %d, want %d", got, base+10)
+	}
+
+	dev.Synchronize()
+	// A host-synchronous op now starts after both streams.
+	if err := dev.Memset(a, 0, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Elapsed(); got != base+20 {
+		t.Errorf("elapsed after sync + sync memset = %d, want %d", got, base+20)
+	}
+}
+
+func TestHostSyncOpJoinsStreams(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	s1 := dev.CreateStream()
+	a, _ := dev.Malloc(4096)
+	// Long async op on stream 1.
+	if err := dev.Memset(a, 0, 4096, s1); err != nil {
+		t.Fatal(err)
+	}
+	before := dev.Elapsed()
+	// Malloc synchronizes the device: it must start at the max clock.
+	if _, err := dev.Malloc(64); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Elapsed(); got != before+SpecTest().MallocCycles {
+		t.Errorf("malloc after async work: elapsed %d, want %d", got, before+SpecTest().MallocCycles)
+	}
+}
+
+func TestCustomAllocRecords(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	h := &recordingHook{}
+	dev.AddHook(h)
+	dev.SetPatchLevel(PatchAPI)
+
+	dev.CustomAlloc("pool.alloc", 0x9000, 512)
+	dev.CustomFree("pool.free", 0x9000)
+
+	if len(h.apis) != 2 {
+		t.Fatalf("got %d records", len(h.apis))
+	}
+	if h.apis[0].Kind != APIMalloc || !h.apis[0].Custom || h.apis[0].Size != 512 {
+		t.Errorf("custom alloc record = %+v", h.apis[0])
+	}
+	if h.apis[1].Kind != APIFree || !h.apis[1].Custom {
+		t.Errorf("custom free record = %+v", h.apis[1])
+	}
+	// Custom APIs must not touch the allocator.
+	if dev.MemStats().InUse != 0 {
+		t.Errorf("custom alloc changed allocator usage: %d", dev.MemStats().InUse)
+	}
+}
+
+func TestFaultsReported(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	h := &recordingHook{}
+	dev.AddHook(h)
+	dev.SetPatchLevel(PatchAPI)
+
+	p, _ := dev.Malloc(16)
+	_ = dev.LaunchFunc(nil, "oob", Dim1(1), Dim1(1), func(ctx *ExecContext) {
+		ctx.StoreU32(p+12, 1) // in bounds
+		ctx.StoreU32(p+16, 2) // out of bounds
+		_ = ctx.LoadU32(p + 1024)
+	})
+	kerl := h.byKind(APIKernel)[0]
+	if len(kerl.Faults) != 2 {
+		t.Fatalf("got %d faults, want 2: %+v", len(kerl.Faults), kerl.Faults)
+	}
+	if kerl.Faults[0].Addr != p+16 || kerl.Faults[0].Kind != AccessWrite {
+		t.Errorf("first fault = %+v", kerl.Faults[0])
+	}
+	if kerl.Faults[1].Kind != AccessRead {
+		t.Errorf("second fault = %+v", kerl.Faults[1])
+	}
+}

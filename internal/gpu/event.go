@@ -1,0 +1,72 @@
+package gpu
+
+import "errors"
+
+// ErrEventNotRecorded is returned when waiting on an event that was never
+// recorded.
+var ErrEventNotRecorded = errors.New("gpu: event has not been recorded")
+
+// Event is a CUDA-style stream marker: recording captures a stream's
+// simulated clock, and other streams (or the host) can wait for that point.
+// Events are how real multi-stream programs (including the paper's
+// simpleMultiCopy sample) order work across streams without full device
+// synchronization; in the simulator they only constrain clocks — they are
+// not GPU APIs in the paper's Definition 5.1 sense and therefore do not
+// appear in the dependency graph or the trace.
+type Event struct {
+	recorded bool
+	cycle    uint64
+}
+
+// NewEvent creates an unrecorded event (the cudaEventCreate analog).
+func (d *Device) NewEvent() *Event { return &Event{} }
+
+// EventRecord captures the current position of the stream (nil means the
+// default stream). Re-recording overwrites the previous capture, as CUDA
+// does.
+func (d *Device) EventRecord(e *Event, s *Stream) {
+	if s == nil {
+		s = d.defaultStream
+	}
+	e.recorded = true
+	e.cycle = s.clock
+}
+
+// StreamWaitEvent makes the stream wait until the event's recorded point:
+// the stream's clock advances to at least the captured cycle. Waiting on an
+// unrecorded event is an error (CUDA treats it as a no-op with an sticky
+// error state; the simulator is stricter to surface bugs).
+func (d *Device) StreamWaitEvent(s *Stream, e *Event) error {
+	if !e.recorded {
+		return ErrEventNotRecorded
+	}
+	if s == nil {
+		s = d.defaultStream
+	}
+	if s.clock < e.cycle {
+		s.clock = e.cycle
+	}
+	return nil
+}
+
+// EventSynchronize blocks the host until the event's point has been
+// reached. In the simulator host time is implicit, so this simply reports
+// whether the event was recorded; it exists for API parity.
+func (d *Device) EventSynchronize(e *Event) error {
+	if !e.recorded {
+		return ErrEventNotRecorded
+	}
+	return nil
+}
+
+// EventElapsed returns the simulated cycles between two recorded events
+// (the cudaEventElapsedTime analog, in cycles rather than milliseconds).
+func EventElapsed(start, end *Event) (uint64, error) {
+	if !start.recorded || !end.recorded {
+		return 0, ErrEventNotRecorded
+	}
+	if end.cycle < start.cycle {
+		return 0, nil
+	}
+	return end.cycle - start.cycle, nil
+}

@@ -1,0 +1,105 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEventOrdersStreams(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	s1 := dev.CreateStream()
+	s2 := dev.CreateStream()
+	buf, _ := dev.Malloc(10_000)
+
+	// Producer on s1: a long memset (100 cycles at 100 B/cycle).
+	if err := dev.Memset(buf, 1, 10_000, s1); err != nil {
+		t.Fatal(err)
+	}
+	done := dev.NewEvent()
+	dev.EventRecord(done, s1)
+
+	// Consumer on s2 must not start before the producer's point.
+	if err := dev.StreamWaitEvent(s2, done); err != nil {
+		t.Fatal(err)
+	}
+	start := dev.Elapsed()
+	if err := dev.Memset(buf, 2, 1000, s2); err != nil {
+		t.Fatal(err)
+	}
+	// s2's op started at the event's cycle, not at 0.
+	if got := dev.Elapsed(); got != start+10 {
+		t.Errorf("elapsed = %d, want consumer to start after the event (%d)", got, start+10)
+	}
+}
+
+func TestEventErrors(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	e := dev.NewEvent()
+	if err := dev.StreamWaitEvent(nil, e); !errors.Is(err, ErrEventNotRecorded) {
+		t.Errorf("wait on unrecorded event: %v", err)
+	}
+	if err := dev.EventSynchronize(e); !errors.Is(err, ErrEventNotRecorded) {
+		t.Errorf("sync on unrecorded event: %v", err)
+	}
+	if _, err := EventElapsed(e, e); !errors.Is(err, ErrEventNotRecorded) {
+		t.Errorf("elapsed on unrecorded events: %v", err)
+	}
+}
+
+func TestEventElapsedMeasuresStreamWork(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	s := dev.CreateStream()
+	buf, _ := dev.Malloc(4096)
+
+	start := dev.NewEvent()
+	dev.EventRecord(start, s)
+	if err := dev.Memset(buf, 0, 4096, s); err != nil { // 4096/100 -> 40 cycles
+		t.Fatal(err)
+	}
+	end := dev.NewEvent()
+	dev.EventRecord(end, s)
+
+	if err := dev.EventSynchronize(end); err != nil {
+		t.Fatal(err)
+	}
+	d, err := EventElapsed(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 40 {
+		t.Errorf("elapsed = %d cycles, want 40", d)
+	}
+	// Reversed order clamps to zero.
+	if d, _ := EventElapsed(end, start); d != 0 {
+		t.Errorf("reversed elapsed = %d", d)
+	}
+}
+
+func TestEventRerecord(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	s := dev.CreateStream()
+	buf, _ := dev.Malloc(4096)
+	e := dev.NewEvent()
+	dev.EventRecord(e, s)
+	first := e.cycle
+	_ = dev.Memset(buf, 0, 4096, s)
+	dev.EventRecord(e, s)
+	if e.cycle == first {
+		t.Error("re-record did not move the event")
+	}
+}
+
+func TestEventsDoNotAppearInTrace(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	h := &recordingHook{}
+	dev.AddHook(h)
+	dev.SetPatchLevel(PatchAPI)
+
+	e := dev.NewEvent()
+	dev.EventRecord(e, nil)
+	_ = dev.StreamWaitEvent(dev.CreateStream(), e)
+
+	if len(h.apis) != 0 {
+		t.Errorf("events emitted %d API records; they are not Definition 5.1 vertices", len(h.apis))
+	}
+}

@@ -1,0 +1,94 @@
+package gpu
+
+// DeviceSpec configures the simulated device. The two stock specs mirror the
+// paper's evaluation platforms (Table 3): an NVIDIA RTX 3090 and an A100.
+// Capacities are scaled down from the physical 24 GB / 40 GB so that the
+// simulator and its access maps stay laptop-sized; all workloads are scaled
+// with the same factor, which preserves every ratio the experiments report.
+type DeviceSpec struct {
+	// Name identifies the device in reports ("RTX3090", "A100").
+	Name string
+	// MemoryCapacity is the device global memory size in bytes.
+	MemoryCapacity uint64
+	// Alignment is the allocation granularity in bytes (CUDA uses 256).
+	Alignment uint64
+	// GlobalLatency is the simulated cost, in cycles, of one global-memory
+	// access after coalescing (amortized per instruction).
+	GlobalLatency uint64
+	// SharedLatency is the simulated cost of one shared-memory access. The
+	// paper cites ~100x speedup of on-chip memory over global memory.
+	SharedLatency uint64
+	// CopyBytesPerCycle is the memcpy/memset throughput of the device.
+	CopyBytesPerCycle uint64
+	// MallocCycles is the fixed cost of a device allocation. Allocation APIs
+	// are expensive on real devices, which is why the paper's redundant
+	// allocation pattern also carries a performance benefit.
+	MallocCycles uint64
+	// FreeCycles is the fixed cost of a deallocation.
+	FreeCycles uint64
+	// LaunchCycles is the fixed overhead of a kernel launch.
+	LaunchCycles uint64
+	// FP32Cycles and FP64Cycles are the amortized per-operation costs of
+	// single- and double-precision arithmetic. Consumer GPUs (RTX 3090)
+	// have heavily rate-limited FP64 units, while the A100 runs FP64 at
+	// half FP32 rate — the asymmetry that makes the paper's BICG (double
+	// precision) speedups larger on the A100 and its GramSchmidt (single
+	// precision) speedups larger on the RTX 3090.
+	FP32Cycles uint64
+	FP64Cycles uint64
+}
+
+// SpecRTX3090 returns the simulated RTX 3090 configuration. GDDR6X on the
+// 3090 has higher latency and lower bandwidth than the A100's HBM2, which is
+// what makes memory-bound kernels relatively slower there (and is why the
+// paper's BICG speedup is larger on the A100).
+func SpecRTX3090() DeviceSpec {
+	return DeviceSpec{
+		Name:              "RTX3090",
+		MemoryCapacity:    256 << 20, // 256 MiB simulated (24 GB physical)
+		Alignment:         256,
+		GlobalLatency:     440,
+		SharedLatency:     24,
+		CopyBytesPerCycle: 30,
+		MallocCycles:      90_000,
+		FreeCycles:        40_000,
+		LaunchCycles:      6_000,
+		FP32Cycles:        450,
+		FP64Cycles:        310,
+	}
+}
+
+// SpecA100 returns the simulated A100 configuration.
+func SpecA100() DeviceSpec {
+	return DeviceSpec{
+		Name:              "A100",
+		MemoryCapacity:    448 << 20, // 448 MiB simulated (40 GB physical)
+		Alignment:         256,
+		GlobalLatency:     360,
+		SharedLatency:     22,
+		CopyBytesPerCycle: 48,
+		MallocCycles:      80_000,
+		FreeCycles:        36_000,
+		LaunchCycles:      5_000,
+		FP32Cycles:        450,
+		FP64Cycles:        115,
+	}
+}
+
+// SpecTest returns a tiny device spec for unit tests: small capacity so OOM
+// paths are easy to exercise, round numbers so cost assertions are readable.
+func SpecTest() DeviceSpec {
+	return DeviceSpec{
+		Name:              "TestGPU",
+		MemoryCapacity:    1 << 20, // 1 MiB
+		Alignment:         256,
+		GlobalLatency:     100,
+		SharedLatency:     10,
+		CopyBytesPerCycle: 100,
+		MallocCycles:      1000,
+		FreeCycles:        500,
+		LaunchCycles:      100,
+		FP32Cycles:        10,
+		FP64Cycles:        20,
+	}
+}

@@ -1,0 +1,240 @@
+package gui
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"drgpum/internal/core"
+	"drgpum/internal/gpu"
+)
+
+// profileSample runs a small two-stream program and returns its report.
+func profileSample(t *testing.T) *core.Report {
+	t.Helper()
+	dev := gpu.NewDevice(gpu.SpecTest())
+	prof := core.Attach(dev, core.IntraObjectConfig())
+	s1 := dev.CreateStream()
+
+	in, err := dev.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Annotate(in, "d_data_in1", 4)
+	out, err := dev.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.Annotate(out, "d_data_out1", 4)
+
+	if err := dev.Memset(in, 0, 1024, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.MemcpyHtoD(in, make([]byte, 1024), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LaunchFunc(s1, "copyK", gpu.Dim1(1), gpu.Dim1(1), func(ctx *gpu.ExecContext) {
+		for i := 0; i < 256; i++ {
+			ctx.StoreU32(out+gpu.DevicePtr(i*4), ctx.LoadU32(in+gpu.DevicePtr(i*4)))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dev.Synchronize()
+	host := make([]byte, 1024)
+	if err := dev.MemcpyDtoH(host, out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(out); err != nil {
+		t.Fatal(err)
+	}
+	return prof.Finish()
+}
+
+// TestFigure7LivenessJSON checks the Perfetto export: valid JSON with the
+// three panes of the paper's GUI (API timeline, object lifetimes with
+// inefficiency details, memory counter).
+func TestFigure7LivenessJSON(t *testing.T) {
+	rep := profileSample(t)
+	var buf bytes.Buffer
+	if err := Export(rep, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Pid   int            `json:"pid"`
+			Tid   int            `json:"tid"`
+			Dur   uint64         `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		Metadata        map[string]string `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.Metadata["tool"] != "DrGPUM-Go" {
+		t.Errorf("metadata = %v", doc.Metadata)
+	}
+
+	var apiTiles, objectSpans, counters, accessMarks int
+	var sawSuggestion, sawStream1, sawCallPath bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Pid == pidAPIs && ev.Phase == "X":
+			apiTiles++
+			if ev.Tid == 1 {
+				sawStream1 = true
+			}
+			if cp, ok := ev.Args["call_path"].(string); ok && cp != "" {
+				sawCallPath = true
+			}
+		case ev.Pid == pidObjects && ev.Phase == "X":
+			objectSpans++
+			if pats, ok := ev.Args["patterns"].([]any); ok && len(pats) > 0 {
+				for _, p := range pats {
+					if s, ok := p.(string); ok && strings.Contains(s, "Free it") ||
+						strings.Contains(p.(string), "Defer") {
+						sawSuggestion = true
+					}
+				}
+			}
+		case ev.Pid == pidObjects && ev.Phase == "i":
+			accessMarks++
+		case ev.Phase == "C":
+			counters++
+		}
+	}
+	if apiTiles != len(rep.Trace.APIs) {
+		t.Errorf("API tiles = %d, want %d", apiTiles, len(rep.Trace.APIs))
+	}
+	if objectSpans == 0 {
+		t.Error("no object lifetime spans (middle pane missing)")
+	}
+	if accessMarks == 0 {
+		t.Error("no access markers on object tracks")
+	}
+	if counters == 0 {
+		t.Error("no memory counter samples")
+	}
+	if !sawStream1 {
+		t.Error("stream 1 lane missing")
+	}
+	if !sawCallPath {
+		t.Error("no call paths in API args (bottom-pane content)")
+	}
+	if !sawSuggestion {
+		t.Error("no optimization suggestions attached to object tracks")
+	}
+
+	// Labels use the paper's ALLOC/SET/CPY/KERL(stream, seq) scheme.
+	text := buf.String()
+	for _, label := range []string{"ALLOC(0, 0)", "SET(0, 0)", "CPY(0, 0)", "KERL(1, 0)", "FREE(0, 0)"} {
+		if !strings.Contains(text, label) {
+			t.Errorf("export missing label %q", label)
+		}
+	}
+	// Annotated object names appear.
+	if !strings.Contains(text, "d_data_in1") || !strings.Contains(text, "d_data_out1") {
+		t.Error("object names missing from export")
+	}
+}
+
+// TestExportHTMLSelfContained checks the single-file HTML report: valid
+// template execution, the timeline chart, peaks and every finding present.
+func TestExportHTMLSelfContained(t *testing.T) {
+	rep := profileSample(t)
+	var buf bytes.Buffer
+	if err := ExportHTML(rep, &buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"DrGPUM report",
+		"<svg", "<path d=\"M", // the memory chart
+		"Top memory peaks",
+		"d_data_in1", "d_data_out1",
+		"allocated at",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Every finding's abbreviation is rendered.
+	for i := range rep.Findings {
+		ab := rep.Findings[i].Pattern.Abbrev()
+		if !strings.Contains(html, ">"+ab+"<") {
+			t.Errorf("HTML missing finding badge %q", ab)
+		}
+	}
+	// No external references: the file must work offline.
+	for _, banned := range []string{"http://", "src=", "href="} {
+		if strings.Contains(html, banned) {
+			t.Errorf("HTML contains external reference %q", banned)
+		}
+	}
+	// One peak mark per mined peak.
+	if got := strings.Count(html, "<circle"); got != len(rep.Peaks.Peaks) {
+		t.Errorf("chart has %d peak marks, want %d", got, len(rep.Peaks.Peaks))
+	}
+}
+
+// TestExportHTMLEscapesLabels guards against label injection into the page.
+func TestExportHTMLEscapesLabels(t *testing.T) {
+	dev := gpu.NewDevice(gpu.SpecTest())
+	prof := core.Attach(dev, core.DefaultConfig())
+	p, _ := dev.Malloc(256)
+	prof.Annotate(p, "<script>alert(1)</script>", 4)
+	// Leak it so a finding carries the label.
+	rep := prof.Finish()
+
+	var buf bytes.Buffer
+	if err := ExportHTML(rep, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert(1)</script>") {
+		t.Error("object label not HTML-escaped")
+	}
+}
+
+// TestHTMLNUAFHistogram checks the access-frequency histogram is embedded
+// for non-uniform access frequency findings.
+func TestHTMLNUAFHistogram(t *testing.T) {
+	dev := gpu.NewDevice(gpu.SpecTest())
+	prof := core.Attach(dev, core.IntraObjectConfig())
+	p, _ := dev.Malloc(1024)
+	prof.Annotate(p, "skewed", 4)
+	_ = dev.LaunchFunc(nil, "skew", gpu.Dim1(1), gpu.Dim1(1), func(ctx *gpu.ExecContext) {
+		for i := 0; i < 256; i++ {
+			for k := 0; k <= i; k++ {
+				_ = ctx.LoadU32(p + gpu.DevicePtr(i*4))
+			}
+		}
+	})
+	_ = dev.Free(p)
+	rep := prof.Finish()
+
+	var buf bytes.Buffer
+	if err := ExportHTML(rep, &buf); err != nil {
+		t.Fatal(err)
+	}
+	html := buf.String()
+	if !strings.Contains(html, "access-frequency histogram") {
+		t.Fatal("NUAF histogram missing from HTML")
+	}
+	if strings.Count(html, "<rect") < 16 {
+		t.Errorf("histogram has too few bars: %d", strings.Count(html, "<rect"))
+	}
+	if !strings.Contains(html, "accesses</title>") {
+		t.Error("histogram bars missing tooltips")
+	}
+}

@@ -1,0 +1,169 @@
+// Package intraobj implements DrGPUM's microscopic intra-object analysis
+// (paper §3.2, §5.2): per-element access bitmaps and frequency maps over
+// each data object, and the three detectors built on them — overallocation,
+// structured access and non-uniform access frequency.
+//
+// Following the paper's implementation, intra-object analysis consumes the
+// per-memory-instruction stream of instrumented kernels; memory copies and
+// sets are not memory instructions and do not contribute (this is why
+// XSBench's GSD.index_grid can be 95% unaccessed even though a copy
+// initialized all of it).
+package intraobj
+
+import "math/bits"
+
+// Bitmap is a dense bit set over a data object's elements. Bit i is set
+// when element i has been accessed.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap creates a bitmap over n elements, all clear.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of elements the bitmap covers.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks element i as accessed. Out-of-range indices are ignored (a
+// faulting access does not belong to the object).
+func (b *Bitmap) Set(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Get reports whether element i is marked.
+func (b *Bitmap) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// SetRange marks elements [lo, hi] inclusive.
+func (b *Bitmap) SetRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= b.n {
+		hi = b.n - 1
+	}
+	for i := lo; i <= hi; i++ {
+		b.Set(i)
+	}
+}
+
+// Count returns the number of marked elements.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Overlaps reports whether any element is marked in both bitmaps. The
+// structured-access detector uses this for the pairwise-disjoint check.
+func (b *Bitmap) Overlaps(o *Bitmap) bool {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if b.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Or merges o into b.
+func (b *Bitmap) Or(o *Bitmap) {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Empty reports whether no bit is set.
+func (b *Bitmap) Empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Contiguous reports whether the set bits form one gap-free run (and the
+// bitmap is non-empty). The structured-access detector requires each API's
+// touched region to be a contiguous slice of the object.
+func (b *Bitmap) Contiguous() bool {
+	first, last := -1, -1
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			if first == -1 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first == -1 {
+		return false
+	}
+	return b.Count() == last-first+1
+}
+
+// LargestZeroRun returns the length of the longest run of unmarked
+// elements — the "largest unaccessed memory chunk" of the paper's
+// fragmentation metric (Equation 1).
+func (b *Bitmap) LargestZeroRun() int {
+	best, cur := 0, 0
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			cur = 0
+			continue
+		}
+		cur++
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// Fragmentation computes the paper's Equation 1 over the bitmap:
+//
+//	Frag = 1 - largestUnaccessedChunk / totalUnaccessed
+//
+// expressed in percent. A fully-accessed object has zero fragmentation by
+// convention (there is nothing to shrink).
+func (b *Bitmap) Fragmentation() float64 {
+	unaccessed := b.n - b.Count()
+	if unaccessed == 0 {
+		return 0
+	}
+	return (1 - float64(b.LargestZeroRun())/float64(unaccessed)) * 100
+}
+
+// AccessedPct returns the percentage of marked elements.
+func (b *Bitmap) AccessedPct() float64 {
+	if b.n == 0 {
+		return 100
+	}
+	return float64(b.Count()) / float64(b.n) * 100
+}

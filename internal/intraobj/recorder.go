@@ -1,0 +1,327 @@
+package intraobj
+
+import (
+	"math"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/trace"
+)
+
+// MapMode says where a kernel's access maps were updated (paper §5.5,
+// "Accelerating intra-object analysis").
+type MapMode uint8
+
+const (
+	// MapModeDevice updates access maps in device memory with atomic
+	// operations and copies only the final maps back — fast, but the maps
+	// must fit in device memory next to the live data objects.
+	MapModeDevice MapMode = iota
+	// MapModeHost ships every accessed address to the host and updates the
+	// maps there — slower, but bounded only by host memory.
+	MapModeHost
+)
+
+// String names the mode.
+func (m MapMode) String() string {
+	if m == MapModeHost {
+		return "host"
+	}
+	return "device"
+}
+
+// ModeStats counts how many instrumented kernels ran in each mode.
+type ModeStats struct {
+	DeviceKernels int
+	HostKernels   int
+}
+
+// objState is the per-object intra-object bookkeeping.
+type objState struct {
+	obj   *trace.Object
+	elems int
+
+	// cumulative access bitmap across all instrumented kernels — drives
+	// overallocation and the structured-access "claimed" check.
+	total *Bitmap
+	// cumulative per-element access frequencies across all kernels — used
+	// for the aggregate histogram shown in reports.
+	totalFreq []uint32
+
+	// current-API state: frequencies are zeroed at every API boundary
+	// (paper §5.2, non-uniform access frequency procedure).
+	curFreq    []uint32
+	curTouched *Bitmap
+	curAPI     uint64
+	curKernel  string
+	curActive  bool
+
+	// host-mode spill buffer for the current API.
+	spill []spilledAccess
+
+	// sliceTotals records, per touching API in order, the total number of
+	// accesses that API made to this object. When the structured-access
+	// property holds these are exactly the per-slice access frequencies the
+	// paper sorts to pick hot slices (§7.3: "the variance of access
+	// frequencies of individual slices in R_gpu is 58%").
+	sliceTotals []uint64
+	// hotKernel is the kernel that accessed this object the most.
+	hotKernel      string
+	hotKernelTotal uint64
+	lastAPI        uint64
+
+	// structured-access state. saViolated records an overlap between two
+	// APIs' touched regions; saNonContig records that some API's touched
+	// region was not a contiguous slice.
+	saViolated  bool
+	saNonContig bool
+	apiTouches  int
+}
+
+type spilledAccess struct {
+	lo, hi int
+}
+
+// Recorder consumes the object-attributed access stream (it implements
+// trace.AccessSink) and maintains per-object bitmaps and frequency maps.
+// It adaptively chooses device- or host-side map updates per kernel based
+// on a memory budget, mirroring the paper's scheme: device maps are used
+// only while the total size of access maps plus live data objects fits in
+// GPU memory.
+type Recorder struct {
+	// CapacityBytes is the simulated device memory capacity.
+	CapacityBytes uint64
+	// LiveBytes reports the device bytes currently occupied by data
+	// objects; the profiler wires this to the device allocator.
+	LiveBytes func() uint64
+
+	states map[trace.ObjectID]*objState
+	order  []trace.ObjectID // insertion order for deterministic reports
+
+	curAPI    uint64
+	curMode   MapMode
+	haveAPI   bool
+	modeStats ModeStats
+}
+
+var _ trace.AccessSink = (*Recorder)(nil)
+
+// NewRecorder creates a recorder with the given device memory capacity used
+// for the adaptive mode decision. A zero capacity always selects device
+// maps.
+func NewRecorder(capacityBytes uint64) *Recorder {
+	return &Recorder{
+		CapacityBytes: capacityBytes,
+		states:        make(map[trace.ObjectID]*objState),
+	}
+}
+
+// Stats returns the adaptive-mode kernel counts.
+func (r *Recorder) Stats() ModeStats { return r.modeStats }
+
+// mapBytes estimates the device memory the access maps of all tracked
+// objects would occupy: one bit per element (bitmap) plus four bytes per
+// element (frequency map).
+func (r *Recorder) mapBytes() uint64 {
+	var total uint64
+	for _, st := range r.states {
+		total += uint64(st.elems)/8 + uint64(st.elems)*4
+	}
+	return total
+}
+
+// chooseMode applies the paper's rule: before each kernel, if access maps
+// and live data objects together fit in device memory, update maps on the
+// device; otherwise fall back to host-side updates.
+func (r *Recorder) chooseMode() MapMode {
+	if r.CapacityBytes == 0 {
+		return MapModeDevice
+	}
+	var live uint64
+	if r.LiveBytes != nil {
+		live = r.LiveBytes()
+	}
+	if live+r.mapBytes() <= r.CapacityBytes {
+		return MapModeDevice
+	}
+	return MapModeHost
+}
+
+// ObjectAccess implements trace.AccessSink.
+func (r *Recorder) ObjectAccess(o *trace.Object, rec *gpu.APIRecord, a gpu.MemAccess) {
+	if !r.haveAPI || rec.Index != r.curAPI {
+		r.finalizeAPI()
+		r.curAPI = rec.Index
+		r.haveAPI = true
+		r.curMode = r.chooseMode()
+		if r.curMode == MapModeDevice {
+			r.modeStats.DeviceKernels++
+		} else {
+			r.modeStats.HostKernels++
+		}
+	}
+
+	st := r.states[o.ID]
+	if st == nil {
+		st = newObjState(o)
+		r.states[o.ID] = st
+		r.order = append(r.order, o.ID)
+	}
+	if !st.curActive {
+		st.beginAPI(rec.Index, rec.Name)
+	}
+
+	es := uint64(o.ElemSize)
+	if es == 0 {
+		es = 4
+	}
+	lo := int(uint64(a.Addr-o.Ptr) / es)
+	hi := int((uint64(a.Addr-o.Ptr) + uint64(a.Size) - 1) / es)
+	if r.curMode == MapModeHost {
+		// Host mode: buffer the raw access; the maps are updated when the
+		// kernel finishes (the replay below models the host-side work).
+		st.spill = append(st.spill, spilledAccess{lo: lo, hi: hi})
+		return
+	}
+	st.update(lo, hi)
+}
+
+func newObjState(o *trace.Object) *objState {
+	elems := o.Elems()
+	return &objState{
+		obj:       o,
+		elems:     elems,
+		total:     NewBitmap(elems),
+		totalFreq: make([]uint32, elems),
+	}
+}
+
+// beginAPI zeroes the object's current-API maps (paper: "upon the
+// invocation of a GPU API A, DrGPUM zeros out hashmaps of data objects this
+// GPU API will access").
+func (st *objState) beginAPI(api uint64, kernel string) {
+	if st.curFreq == nil {
+		st.curFreq = make([]uint32, st.elems)
+		st.curTouched = NewBitmap(st.elems)
+	} else {
+		for i := range st.curFreq {
+			st.curFreq[i] = 0
+		}
+		st.curTouched.Reset()
+	}
+	st.curAPI = api
+	st.curKernel = kernel
+	st.curActive = true
+	st.spill = st.spill[:0]
+}
+
+// update applies one access covering elements [lo, hi] to the current maps.
+func (st *objState) update(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= st.elems {
+		hi = st.elems - 1
+	}
+	for i := lo; i <= hi; i++ {
+		st.curFreq[i]++
+		st.curTouched.Set(i)
+	}
+}
+
+// finalizeAPI closes out the per-API maps of every object the finished
+// kernel touched: replay host-mode spills, evaluate the per-API coefficient
+// of variation, run the structured-access disjointness check, and fold the
+// per-API maps into the cumulative ones.
+func (r *Recorder) finalizeAPI() {
+	if !r.haveAPI {
+		return
+	}
+	for _, id := range r.order {
+		st := r.states[id]
+		if !st.curActive || st.curAPI != r.curAPI {
+			continue
+		}
+		for _, s := range st.spill {
+			st.update(s.lo, s.hi)
+		}
+		st.spill = st.spill[:0]
+
+		// Structured access: this API's slice must not overlap any element
+		// already claimed by a previous API.
+		var apiTotal uint64
+		for _, f := range st.curFreq {
+			apiTotal += uint64(f)
+		}
+		if !st.curTouched.Empty() {
+			if st.curTouched.Overlaps(st.total) {
+				st.saViolated = true
+			}
+			if !st.curTouched.Contiguous() {
+				st.saNonContig = true
+			}
+			st.apiTouches++
+			st.sliceTotals = append(st.sliceTotals, apiTotal)
+		}
+		if apiTotal > st.hotKernelTotal {
+			st.hotKernelTotal = apiTotal
+			st.hotKernel = st.curKernel
+			st.lastAPI = st.curAPI
+		}
+
+		// Fold into cumulative maps.
+		st.total.Or(st.curTouched)
+		for i, f := range st.curFreq {
+			st.totalFreq[i] += f
+		}
+		st.curActive = false
+	}
+}
+
+// Flush finalizes the in-flight API. The profiler calls it once collection
+// ends, before detection.
+func (r *Recorder) Flush() {
+	r.finalizeAPI()
+	r.haveAPI = false
+}
+
+// coefficientOfVariation returns stddev/mean of the samples, in percent
+// (the paper's variance metric, §3.2 footnote). A zero mean yields zero.
+func coefficientOfVariation(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range samples {
+		sum += f
+	}
+	mean := sum / float64(len(samples))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, f := range samples {
+		d := f - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(len(samples)))
+	return std / mean * 100
+}
+
+// excessCV removes the sampling-noise floor from a coefficient of
+// variation: counts that arise from N independent random draws are
+// Poisson-distributed with CV^2 ~= 1/mean even when the underlying access
+// pattern is perfectly uniform. Subtracting that floor (in variance space)
+// keeps Monte Carlo workloads such as XSBench from reporting non-uniform
+// access frequency on statistically-uniform data, while deterministic skews
+// (banded solvers, triangular updates) pass through essentially unchanged.
+func excessCV(cvPct, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	floor := 100 * 100 / mean // (100/sqrt(mean))^2, in pct^2
+	v := cvPct*cvPct - floor
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

@@ -1,0 +1,110 @@
+package overhead
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"drgpum/internal/gpu"
+)
+
+func TestMedianAndGeomean(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median odd = %g", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("median even = %g", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("median empty = %g", got)
+	}
+	if got := geomean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("geomean = %g", got)
+	}
+	if got := geomean([]float64{2, 0}); got != 0 {
+		t.Errorf("geomean with zero = %g", got)
+	}
+}
+
+func TestSummarizeGroupsByDevice(t *testing.T) {
+	rows := []Row{
+		{Program: "a", Device: "X", ObjectOverhead: 1, IntraOverhead: 2},
+		{Program: "b", Device: "X", ObjectOverhead: 4, IntraOverhead: 8},
+		{Program: "a", Device: "Y", ObjectOverhead: 3, IntraOverhead: 3},
+	}
+	s := Summarize(rows)
+	if len(s) != 2 || s[0].Device != "X" || s[1].Device != "Y" {
+		t.Fatalf("summaries = %+v", s)
+	}
+	if s[0].ObjectMedian != 2.5 || math.Abs(s[0].ObjectGeomean-2) > 1e-12 {
+		t.Errorf("device X object summary = %+v", s[0])
+	}
+	if s[1].IntraMedian != 3 {
+		t.Errorf("device Y = %+v", s[1])
+	}
+}
+
+// TestFigure6Shape measures one real workload at all three patch levels and
+// checks the figure's structural claims: instrumentation costs something,
+// and intra-object analysis costs at least as much as object-level.
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	spec := gpu.SpecRTX3090()
+	rows, err := Measure([]gpu.DeviceSpec{spec}, Options{Repeats: 3, SamplingPeriod: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want one per workload", len(rows))
+	}
+	var objectWins, intraAtLeastObject int
+	for _, r := range rows {
+		if r.ObjectOverhead > 1.0 {
+			objectWins++
+		}
+		if r.IntraNs >= r.ObjectNs {
+			intraAtLeastObject++
+		}
+	}
+	// Timing noise tolerance: the clear majority must show the expected
+	// ordering (in the paper every benchmark does).
+	if objectWins < 9 {
+		t.Errorf("only %d/12 workloads show object-level overhead > 1x", objectWins)
+	}
+	if intraAtLeastObject < 9 {
+		t.Errorf("only %d/12 workloads have intra-object >= object-level cost", intraAtLeastObject)
+	}
+
+	var b strings.Builder
+	Render(&b, rows)
+	if !strings.Contains(b.String(), "geomean") {
+		t.Error("render missing summary lines")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	rows := []Row{
+		{Program: "rodinia/huffman", Device: "RTX3090", ObjectOverhead: 1.2, IntraOverhead: 2.4},
+		{Program: "minimdock", Device: "RTX3090", ObjectOverhead: 1.1, IntraOverhead: 4.2},
+		{Program: "rodinia/huffman", Device: "A100", ObjectOverhead: 1.3, IntraOverhead: 2.1},
+	}
+	var b strings.Builder
+	if err := RenderSVG(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	for _, want := range []string{"<svg", "RTX3090", "A100", "huffman", "object-level: 1.20x", "intra-object: 4.20x", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two bars per row.
+	if got := strings.Count(svg, "<rect"); got < 2*len(rows) {
+		t.Errorf("bars = %d", got)
+	}
+	if err := RenderSVG(&b, nil); err == nil {
+		t.Error("empty rows accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package overhead
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderSVG draws the Figure 6 bar chart — per-workload object-level and
+// intra-object overhead, one panel per device — as a standalone SVG file
+// (the artifact's overhead.pdf analog, viewable in any browser).
+func RenderSVG(w io.Writer, rows []Row) error {
+	byDevice := map[string][]Row{}
+	var devices []string
+	for _, r := range rows {
+		if _, ok := byDevice[r.Device]; !ok {
+			devices = append(devices, r.Device)
+		}
+		byDevice[r.Device] = append(byDevice[r.Device], r)
+	}
+	if len(devices) == 0 {
+		return fmt.Errorf("overhead: no rows to draw")
+	}
+
+	const (
+		panelW    = 640.0
+		panelH    = 220.0
+		marginL   = 60.0
+		marginTop = 40.0
+		gapY      = 60.0
+		labelH    = 90.0
+	)
+	var maxOvh float64
+	for _, r := range rows {
+		if r.IntraOverhead > maxOvh {
+			maxOvh = r.IntraOverhead
+		}
+		if r.ObjectOverhead > maxOvh {
+			maxOvh = r.ObjectOverhead
+		}
+	}
+	if maxOvh < 1 {
+		maxOvh = 1
+	}
+	maxOvh *= 1.1 // headroom
+
+	totalW := marginL + panelW + 40
+	totalH := marginTop + float64(len(devices))*(panelH+labelH+gapY)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="sans-serif" font-size="11">`+"\n", totalW, totalH)
+	fmt.Fprintf(&b, `<text x="%.0f" y="20" font-size="14">DrGPUM profiling overhead (x native) — object-level vs intra-object</text>`+"\n", marginL)
+
+	for di, dev := range devices {
+		rs := byDevice[dev]
+		top := marginTop + float64(di)*(panelH+labelH+gapY)
+		bot := top + panelH
+
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-size="12" font-weight="bold">%s</text>`+"\n", marginL, top-6, dev)
+
+		// Axis and 1x reference line.
+		fmt.Fprintf(&b, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="#333"/>`+"\n", marginL, bot, marginL+panelW, bot)
+		y1x := bot - panelH/maxOvh
+		fmt.Fprintf(&b, `<line x1="%.0f" y1="%.1f" x2="%.0f" y2="%.1f" stroke="#999" stroke-dasharray="4 3"/>`+"\n", marginL, y1x, marginL+panelW, y1x)
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.1f" fill="#666">1x</text>`+"\n", marginL-25, y1x+4)
+
+		group := panelW / float64(len(rs))
+		barW := group * 0.35
+		for i, r := range rs {
+			x := marginL + float64(i)*group + group*0.1
+			hObj := panelH * r.ObjectOverhead / maxOvh
+			hIntra := panelH * r.IntraOverhead / maxOvh
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#3d348b"><title>%s object-level: %.2fx</title></rect>`+"\n",
+				x, bot-hObj, barW, hObj, r.Program, r.ObjectOverhead)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#b5179e"><title>%s intra-object: %.2fx</title></rect>`+"\n",
+				x+barW+2, bot-hIntra, barW, hIntra, r.Program, r.IntraOverhead)
+			// Rotated workload label.
+			lx := x + barW
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" transform="rotate(-45 %.1f %.1f)" text-anchor="end">%s</text>`+"\n",
+				lx, bot+14, lx, bot+14, shortName(r.Program))
+		}
+	}
+
+	// Legend.
+	fmt.Fprintf(&b, `<rect x="%.0f" y="26" width="10" height="10" fill="#3d348b"/><text x="%.0f" y="35">object-level</text>`+"\n", marginL+420, marginL+435)
+	fmt.Fprintf(&b, `<rect x="%.0f" y="26" width="10" height="10" fill="#b5179e"/><text x="%.0f" y="35">intra-object</text>`+"\n", marginL+510, marginL+525)
+	b.WriteString("</svg>\n")
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// shortName trims the suite prefix for axis labels.
+func shortName(program string) string {
+	if i := strings.IndexByte(program, '/'); i >= 0 {
+		return program[i+1:]
+	}
+	return program
+}

@@ -1,0 +1,92 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPatternNamesAndAbbrevs(t *testing.T) {
+	wantAbbrev := map[Pattern]string{
+		EarlyAllocation:           "EA",
+		LateDeallocation:          "LD",
+		RedundantAllocation:       "RA",
+		UnusedAllocation:          "UA",
+		MemoryLeak:                "ML",
+		TemporaryIdleness:         "TI",
+		DeadWrite:                 "DW",
+		Overallocation:            "OA",
+		NonUniformAccessFrequency: "NUAF",
+		StructuredAccess:          "SA",
+	}
+	if len(wantAbbrev) != NumPatterns {
+		t.Fatalf("pattern count = %d", NumPatterns)
+	}
+	for p, ab := range wantAbbrev {
+		if p.Abbrev() != ab {
+			t.Errorf("%v.Abbrev() = %q, want %q", p, p.Abbrev(), ab)
+		}
+		if p.String() == "" || strings.HasPrefix(p.String(), "Pattern(") {
+			t.Errorf("%q has no name", ab)
+		}
+	}
+}
+
+func TestParseAbbrevRoundtrip(t *testing.T) {
+	for _, p := range All() {
+		got, ok := ParseAbbrev(p.Abbrev())
+		if !ok || got != p {
+			t.Errorf("ParseAbbrev(%q) = %v, %v", p.Abbrev(), got, ok)
+		}
+		// Case-insensitive.
+		got, ok = ParseAbbrev(strings.ToLower(p.Abbrev()))
+		if !ok || got != p {
+			t.Errorf("lowercase ParseAbbrev(%q) failed", p.Abbrev())
+		}
+	}
+	if _, ok := ParseAbbrev("ZZ"); ok {
+		t.Error("ParseAbbrev accepted garbage")
+	}
+}
+
+func TestObjectLevelSplit(t *testing.T) {
+	objectLevel := []Pattern{EarlyAllocation, LateDeallocation, RedundantAllocation,
+		UnusedAllocation, MemoryLeak, TemporaryIdleness, DeadWrite}
+	intra := []Pattern{Overallocation, NonUniformAccessFrequency, StructuredAccess}
+	for _, p := range objectLevel {
+		if !p.ObjectLevel() {
+			t.Errorf("%v should be object-level", p)
+		}
+	}
+	for _, p := range intra {
+		if p.ObjectLevel() {
+			t.Errorf("%v should be intra-object", p)
+		}
+	}
+}
+
+func TestAllIsTableOrdered(t *testing.T) {
+	all := All()
+	if len(all) != NumPatterns {
+		t.Fatalf("All() = %d entries", len(all))
+	}
+	for i, p := range all {
+		if int(p) != i {
+			t.Errorf("All()[%d] = %v", i, p)
+		}
+	}
+}
+
+func TestFindingKeyUniqueness(t *testing.T) {
+	a := Finding{Pattern: EarlyAllocation, Object: 1}
+	b := Finding{Pattern: LateDeallocation, Object: 1}
+	c := Finding{Pattern: EarlyAllocation, Object: 2}
+	d := Finding{Pattern: NonUniformAccessFrequency, Object: 1, AtKernel: "k1"}
+	e := Finding{Pattern: NonUniformAccessFrequency, Object: 1, AtKernel: "k2"}
+	keys := map[string]bool{}
+	for _, f := range []Finding{a, b, c, d, e} {
+		if keys[f.Key()] {
+			t.Errorf("duplicate key %q", f.Key())
+		}
+		keys[f.Key()] = true
+	}
+}

@@ -1,0 +1,111 @@
+package pattern
+
+import (
+	"fmt"
+
+	"drgpum/internal/trace"
+)
+
+// Suggest renders the optimization guidance for a finding in the style of
+// the paper's GUI detail pane (§7.1): concrete, object- and API-specific
+// advice a developer can act on directly.
+func Suggest(t *trace.Trace, f *Finding) string {
+	obj := t.Object(f.Object)
+	name := obj.DisplayName()
+	label := func(api uint64) string { return t.API(api).Label() }
+
+	switch f.Pattern {
+	case EarlyAllocation:
+		return fmt.Sprintf(
+			"%s is allocated at %s, %d GPU API(s) before its first-touch GPU API %s. "+
+				"Defer the allocation until just before %s to shorten the object's idle prefix.",
+			name, label(f.APIs[0]), f.Distance-1, label(f.APIs[1]), label(f.APIs[1]))
+
+	case LateDeallocation:
+		return fmt.Sprintf(
+			"The last GPU API that accesses %s is %s, but %s is not freed until %s "+
+				"(%d GPU API(s) later). Free it immediately after %s.",
+			name, label(f.APIs[0]), name, label(f.APIs[1]), f.Distance-1, label(f.APIs[0]))
+
+	case RedundantAllocation:
+		partner := t.Object(f.Partner).DisplayName()
+		return fmt.Sprintf(
+			"%s (%d bytes) is first accessed after the last access to %s (%d bytes) ends. "+
+				"Reuse %s's memory for %s instead of allocating anew; this also avoids an "+
+				"expensive device allocation call.",
+			name, obj.Size, partner, t.Object(f.Partner).Size, partner, name)
+
+	case UnusedAllocation:
+		return fmt.Sprintf(
+			"%s (%d bytes) is never accessed by any GPU API during its lifetime. "+
+				"Remove the allocation, or allocate it conditionally on the path that uses it.",
+			name, obj.Size)
+
+	case MemoryLeak:
+		return fmt.Sprintf(
+			"%s (%d bytes) is never deallocated. Pair its allocation with a free so "+
+				"allocation and deallocation always appear together.",
+			name, obj.Size)
+
+	case TemporaryIdleness:
+		w := f.Windows[0]
+		return fmt.Sprintf(
+			"%s is idle between %s and %s while %d other GPU API(s) execute. "+
+				"Free it before the gap and reallocate after, or offload it to host memory "+
+				"for the duration of the gap and prefetch it back before %s.",
+			name, label(w.FromAPI), label(w.ToAPI), w.Intervening, label(w.ToAPI))
+
+	case DeadWrite:
+		return fmt.Sprintf(
+			"%s is written by %s and overwritten by %s with no intervening access. "+
+				"The first write is dead; remove it.",
+			name, label(f.APIs[0]), label(f.APIs[1]))
+
+	case Overallocation:
+		base := fmt.Sprintf(
+			"Only %.3g%% of %s's elements are ever accessed (fragmentation of the "+
+				"unaccessed space: %.3g%%). ",
+			f.AccessedPct, name, f.FragmentationPct)
+		return base + OverallocationGuidance(f.AccessedPct, f.FragmentationPct)
+
+	case NonUniformAccessFrequency:
+		return fmt.Sprintf(
+			"Access frequencies of %s's elements at kernel %s vary with a coefficient "+
+				"of variation of %.3g%%. Place the hottest slices in shared memory or "+
+				"pin them in the L2 cache to accelerate accesses.",
+			name, f.AtKernel, f.VariationPct)
+
+	case StructuredAccess:
+		return fmt.Sprintf(
+			"Each invocation of kernel %s accesses a disjoint slice of %s. "+
+				"Replace the single allocation with one slice-sized allocation reused "+
+				"(or re-allocated) per invocation, so only one slice is live at a time.",
+			f.AtKernel, name)
+
+	default:
+		return ""
+	}
+}
+
+// OverallocationGuidance returns the paper's Table 2 advice for an
+// overallocated object, given the percentage of accessed elements and the
+// fragmentation percentage. The quadrant boundary is the paper's 80%
+// investigation threshold.
+func OverallocationGuidance(accessedPct, fragPct float64) string {
+	const boundary = 80.0
+	lowAccess := accessedPct < boundary
+	lowFrag := fragPct < boundary
+	switch {
+	case lowAccess && lowFrag:
+		return "Easy to optimize: shrinking/freeing the unaccessed memory yields " +
+			"nontrivial memory savings."
+	case !lowAccess && lowFrag:
+		return "Shrinking/freeing the unaccessed memory yields little benefit to " +
+			"memory saving."
+	case lowAccess && !lowFrag:
+		return "Difficult to optimize: unaccessed elements are scattered all over " +
+			"the data object."
+	default:
+		return "No action recommended for memory saving."
+	}
+}

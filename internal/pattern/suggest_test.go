@@ -1,0 +1,95 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"drgpum/internal/callpath"
+	"drgpum/internal/gpu"
+	"drgpum/internal/trace"
+)
+
+// suggestTrace builds a small synthetic trace with enough structure to
+// render every pattern's suggestion.
+func suggestTrace() *trace.Trace {
+	mkRec := func(idx uint64, kind gpu.APIKind, stream, seq int) *gpu.APIRecord {
+		return &gpu.APIRecord{Index: idx, Kind: kind, Name: kind.String(), Stream: stream, SeqInStream: seq}
+	}
+	tr := &trace.Trace{Unwinder: callpath.NewUnwinder()}
+	kinds := []gpu.APIKind{
+		gpu.APIMalloc, gpu.APIMalloc, gpu.APIMemset, gpu.APIMemcpy,
+		gpu.APIKernel, gpu.APIKernel, gpu.APIFree, gpu.APIFree,
+	}
+	seqs := map[gpu.APIKind]int{}
+	for i, k := range kinds {
+		rec := mkRec(uint64(i), k, 0, seqs[k])
+		seqs[k]++
+		tr.APIs = append(tr.APIs, &trace.APIInfo{Rec: rec, Topo: uint64(i)})
+	}
+	tr.Objects = []*trace.Object{
+		{ID: 0, Ptr: 0x1000, Size: 4096, ElemSize: 4, Label: "alpha", AllocAPI: 0, FreeAPI: 6,
+			Accesses: []trace.AccessEvent{
+				{API: 2, APIKind: gpu.APIMemset, Write: true},
+				{API: 3, APIKind: gpu.APIMemcpy, Write: true},
+				{API: 5, APIKind: gpu.APIKernel, Read: true},
+			}},
+		{ID: 1, Ptr: 0x3000, Size: 4096, ElemSize: 4, Label: "beta", AllocAPI: 1, FreeAPI: 7,
+			Accesses: []trace.AccessEvent{
+				{API: 4, APIKind: gpu.APIKernel, Write: true},
+			}},
+	}
+	return tr
+}
+
+// TestEverySuggestionRenders checks each pattern's guidance names the
+// object and gives an imperative action.
+func TestEverySuggestionRenders(t *testing.T) {
+	tr := suggestTrace()
+	cases := []struct {
+		f        Finding
+		mentions []string
+	}{
+		{Finding{Pattern: EarlyAllocation, Object: 0, APIs: []uint64{0, 2}, Distance: 2},
+			[]string{"alpha", "Defer", "SET(0, 0)"}},
+		{Finding{Pattern: LateDeallocation, Object: 0, APIs: []uint64{5, 6}, Distance: 1},
+			[]string{"alpha", "Free it immediately", "KERL(0, 1)"}},
+		{Finding{Pattern: RedundantAllocation, Object: 1, Partner: 0, HasPartner: true, APIs: []uint64{5, 4}},
+			[]string{"beta", "alpha", "Reuse"}},
+		{Finding{Pattern: UnusedAllocation, Object: 1},
+			[]string{"beta", "never accessed", "Remove"}},
+		{Finding{Pattern: MemoryLeak, Object: 1},
+			[]string{"beta", "never deallocated"}},
+		{Finding{Pattern: TemporaryIdleness, Object: 0,
+			Windows: []IdleWindow{{FromAPI: 2, ToAPI: 5, Intervening: 2}}},
+			[]string{"alpha", "idle", "offload"}},
+		{Finding{Pattern: DeadWrite, Object: 0, APIs: []uint64{2, 3}},
+			[]string{"alpha", "dead", "SET(0, 0)", "CPY(0, 0)"}},
+		{Finding{Pattern: Overallocation, Object: 0, AccessedPct: 5, FragmentationPct: 1},
+			[]string{"alpha", "5", "Easy to optimize"}},
+		{Finding{Pattern: NonUniformAccessFrequency, Object: 0, AtKernel: "k3", VariationPct: 58},
+			[]string{"alpha", "k3", "58", "shared memory"}},
+		{Finding{Pattern: StructuredAccess, Object: 0, AtKernel: "k3"},
+			[]string{"alpha", "k3", "slice"}},
+	}
+	for _, c := range cases {
+		got := Suggest(tr, &c.f)
+		if got == "" {
+			t.Errorf("%s: empty suggestion", c.f.Pattern)
+			continue
+		}
+		for _, m := range c.mentions {
+			if !strings.Contains(got, m) {
+				t.Errorf("%s suggestion missing %q:\n%s", c.f.Pattern, m, got)
+			}
+		}
+	}
+}
+
+func TestSuggestionFallbackName(t *testing.T) {
+	tr := suggestTrace()
+	tr.Objects[0].Label = ""
+	f := Finding{Pattern: MemoryLeak, Object: 0}
+	if got := Suggest(tr, &f); !strings.Contains(got, "object#0") {
+		t.Errorf("unlabelled object suggestion = %q", got)
+	}
+}

@@ -1,0 +1,306 @@
+package pool
+
+import (
+	"fmt"
+	"math/bits"
+
+	"drgpum/internal/gpu"
+)
+
+// BFC is a best-fit-with-coalescing arena allocator in the style of
+// TensorFlow's BFC allocator — the second major custom GPU memory API the
+// paper targets ("the other [future direction] is to enable DrGPUM to
+// support TensorFlow", §8). Unlike the caching Pool, which bins freed
+// blocks by exact size class and never merges them, BFC manages one arena
+// of chunks threaded by address: requests take the best-fitting free chunk
+// of the smallest adequate power-of-two bin (splitting off the remainder),
+// and frees coalesce with free neighbours immediately.
+//
+// BFC implements Observable, so Profiler.AttachPool gives DrGPUM tensor-
+// level visibility into it exactly as for the PyTorch-style pool.
+type BFC struct {
+	dev        *gpu.Device
+	arenaBytes uint64
+	base       gpu.DevicePtr
+	reserved   bool
+
+	// head is the lowest-addressed chunk; chunks link by address.
+	head *bfcChunk
+	// bins[i] holds free chunks with size in [2^(i+bfcMinBinLog), ...).
+	bins [bfcNumBins][]*bfcChunk
+	// live maps in-use tensor base pointers to their chunks.
+	live map[gpu.DevicePtr]*bfcChunk
+
+	observers []Observer
+	stats     Stats
+}
+
+// bfcChunk is one arena region, free or in use.
+type bfcChunk struct {
+	addr       gpu.DevicePtr
+	size       uint64
+	inUse      bool
+	prev, next *bfcChunk
+}
+
+const (
+	// bfcAlign is the allocation granularity (TensorFlow also uses 256).
+	bfcAlign = 256
+	// bfcMinBinLog: bin 0 holds chunks of at least 2^8 = 256 bytes.
+	bfcMinBinLog = 8
+	bfcNumBins   = 21 // up to 2^28 = 256 MiB chunks
+)
+
+// NewBFC creates an arena allocator of arenaBytes (rounded up to the
+// alignment; 0 selects 1 MiB). The arena is reserved from the device
+// lazily at the first allocation, so a profiler attached after
+// construction still observes the segment event.
+func NewBFC(dev *gpu.Device, arenaBytes uint64) *BFC {
+	if arenaBytes == 0 {
+		arenaBytes = 1 << 20
+	}
+	arenaBytes = (arenaBytes + bfcAlign - 1) &^ (bfcAlign - 1)
+	return &BFC{
+		dev:        dev,
+		arenaBytes: arenaBytes,
+		live:       make(map[gpu.DevicePtr]*bfcChunk),
+	}
+}
+
+// Register implements Observable.
+func (b *BFC) Register(o Observer) { b.observers = append(b.observers, o) }
+
+// Stats returns the accounting snapshot. CacheHits counts allocations
+// served without splitting (exact-enough fits); CacheMisses the rest.
+func (b *BFC) Stats() Stats { return b.stats }
+
+// binFor returns the bin index for a chunk size.
+func binFor(size uint64) int {
+	if size < 1<<bfcMinBinLog {
+		return 0
+	}
+	i := bits.Len64(size) - 1 - bfcMinBinLog
+	if i >= bfcNumBins {
+		i = bfcNumBins - 1
+	}
+	return i
+}
+
+// reserve allocates the arena from the device.
+func (b *BFC) reserve() error {
+	base, err := b.dev.Malloc(b.arenaBytes)
+	if err != nil {
+		return fmt.Errorf("bfc: reserving %d-byte arena: %w", b.arenaBytes, err)
+	}
+	b.base = base
+	b.reserved = true
+	b.stats.Reserved = b.arenaBytes
+	b.stats.PeakReserved = b.arenaBytes
+	b.stats.Segments = 1
+	c := &bfcChunk{addr: base, size: b.arenaBytes}
+	b.head = c
+	b.binInsert(c)
+	b.notify(Event{Kind: EventSegment, Ptr: base, Size: b.arenaBytes,
+		Reserved: b.arenaBytes})
+	return nil
+}
+
+// binInsert files a free chunk.
+func (b *BFC) binInsert(c *bfcChunk) {
+	i := binFor(c.size)
+	b.bins[i] = append(b.bins[i], c)
+}
+
+// binRemove unfiles a free chunk.
+func (b *BFC) binRemove(c *bfcChunk) {
+	i := binFor(c.size)
+	s := b.bins[i]
+	for j, x := range s {
+		if x == c {
+			b.bins[i] = append(s[:j], s[j+1:]...)
+			return
+		}
+	}
+}
+
+// Alloc serves a tensor request with best-fit-with-coalescing semantics.
+func (b *BFC) Alloc(size uint64) (gpu.DevicePtr, error) {
+	if !b.reserved {
+		if err := b.reserve(); err != nil {
+			return 0, err
+		}
+	}
+	req := size
+	if req == 0 {
+		req = 1
+	}
+	r := (req + bfcAlign - 1) &^ (bfcAlign - 1)
+
+	// Best fit: scan from the smallest adequate bin upward and take the
+	// smallest chunk that fits.
+	var best *bfcChunk
+	for i := binFor(r); i < bfcNumBins; i++ {
+		for _, c := range b.bins[i] {
+			if c.size >= r && (best == nil || c.size < best.size) {
+				best = c
+			}
+		}
+		if best != nil {
+			break
+		}
+	}
+	if best == nil {
+		return 0, fmt.Errorf("%w: bfc arena exhausted for %d bytes (in use %d of %d)",
+			gpu.ErrOutOfMemory, size, b.stats.Allocated, b.arenaBytes)
+	}
+	b.binRemove(best)
+
+	// Split the remainder back into the free list if it is usable.
+	if best.size-r >= bfcAlign {
+		rest := &bfcChunk{
+			addr: best.addr + gpu.DevicePtr(r),
+			size: best.size - r,
+			prev: best,
+			next: best.next,
+		}
+		if best.next != nil {
+			best.next.prev = rest
+		}
+		best.next = rest
+		best.size = r
+		b.binInsert(rest)
+		b.stats.CacheMisses++
+	} else {
+		b.stats.CacheHits++
+	}
+
+	best.inUse = true
+	b.live[best.addr] = best
+	b.stats.Allocated += best.size
+	if b.stats.Allocated > b.stats.PeakAllocated {
+		b.stats.PeakAllocated = b.stats.Allocated
+	}
+
+	b.dev.CustomAlloc("bfc.alloc", best.addr, size)
+	b.notify(Event{Kind: EventAlloc, Ptr: best.addr, Size: best.size,
+		Allocated: b.stats.Allocated, Reserved: b.stats.Reserved})
+	return best.addr, nil
+}
+
+// Free returns a tensor and coalesces it with free neighbours.
+func (b *BFC) Free(ptr gpu.DevicePtr) error {
+	c, ok := b.live[ptr]
+	if !ok {
+		return fmt.Errorf("%w: 0x%x", ErrPoolInvalidFree, uint64(ptr))
+	}
+	delete(b.live, ptr)
+	c.inUse = false
+	b.stats.Allocated -= c.size
+
+	// Coalesce with the successor.
+	if n := c.next; n != nil && !n.inUse {
+		b.binRemove(n)
+		c.size += n.size
+		c.next = n.next
+		if n.next != nil {
+			n.next.prev = c
+		}
+	}
+	// Coalesce with the predecessor.
+	if p := c.prev; p != nil && !p.inUse {
+		b.binRemove(p)
+		p.size += c.size
+		p.next = c.next
+		if c.next != nil {
+			c.next.prev = p
+		}
+		c = p
+	}
+	b.binInsert(c)
+
+	b.dev.CustomFree("bfc.free", ptr)
+	b.notify(Event{Kind: EventFree, Ptr: ptr, Size: c.size,
+		Allocated: b.stats.Allocated, Reserved: b.stats.Reserved})
+	return nil
+}
+
+// Release returns the arena to the device. All tensors must be freed.
+func (b *BFC) Release() error {
+	if len(b.live) > 0 {
+		return fmt.Errorf("bfc: release with %d live tensors", len(b.live))
+	}
+	if !b.reserved {
+		return nil
+	}
+	if err := b.dev.Free(b.base); err != nil {
+		return err
+	}
+	b.reserved = false
+	b.head = nil
+	b.live = make(map[gpu.DevicePtr]*bfcChunk)
+	for i := range b.bins {
+		b.bins[i] = nil
+	}
+	b.stats.Reserved = 0
+	b.stats.Segments = 0
+	return nil
+}
+
+// Fragmentation reports the arena's external fragmentation in percent:
+// 1 - largestFreeChunk/totalFree (0 when the arena is full or pristine) —
+// the same shape as the paper's Equation 1 for unaccessed object space.
+func (b *BFC) Fragmentation() float64 {
+	var total, largest uint64
+	for c := b.head; c != nil; c = c.next {
+		if c.inUse {
+			continue
+		}
+		total += c.size
+		if c.size > largest {
+			largest = c.size
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return (1 - float64(largest)/float64(total)) * 100
+}
+
+// checkInvariants walks the chunk list and verifies structural soundness.
+// Tests call it after mutation sequences; it returns a description of the
+// first violation or "".
+func (b *BFC) checkInvariants() string {
+	if !b.reserved {
+		return ""
+	}
+	var covered uint64
+	prevEnd := b.base
+	var prevFree bool
+	first := true
+	for c := b.head; c != nil; c = c.next {
+		if c.addr != prevEnd {
+			return fmt.Sprintf("gap/overlap at 0x%x (expected 0x%x)", uint64(c.addr), uint64(prevEnd))
+		}
+		if !first && prevFree && !c.inUse {
+			return fmt.Sprintf("adjacent free chunks at 0x%x (missed coalesce)", uint64(c.addr))
+		}
+		if c.next != nil && c.next.prev != c {
+			return "broken back-link"
+		}
+		covered += c.size
+		prevEnd = c.addr + gpu.DevicePtr(c.size)
+		prevFree = !c.inUse
+		first = false
+	}
+	if covered != b.arenaBytes {
+		return fmt.Sprintf("chunks cover %d of %d arena bytes", covered, b.arenaBytes)
+	}
+	return ""
+}
+
+// notify delivers an event to all observers.
+func (b *BFC) notify(ev Event) {
+	for _, o := range b.observers {
+		o(ev)
+	}
+}

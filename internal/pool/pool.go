@@ -1,0 +1,258 @@
+// Package pool implements a caching device-memory allocator in the style of
+// PyTorch's CUDA caching allocator, together with the profiling callback
+// interface DrGPUM uses to regain visibility into custom memory APIs
+// (paper §5.4).
+//
+// Deep-learning frameworks pre-allocate large device segments and serve
+// tensor requests from them, so the driver-level allocation APIs the
+// Sanitizer intercepts never see individual tensors. The paper's fix is a
+// registered callback on every pool operation (PyTorch's
+// ThreadLocalDebugInfo utility); this package exposes the same shape: an
+// event stream of tensor allocations/frees plus the allocated-vs-reserved
+// accounting the paper's memory view reports.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"drgpum/internal/gpu"
+)
+
+// ErrPoolInvalidFree is returned when freeing a pointer the pool does not
+// own.
+var ErrPoolInvalidFree = errors.New("pool: invalid free")
+
+// EventKind distinguishes pool callback events.
+type EventKind uint8
+
+const (
+	// EventAlloc is a tensor allocation served by the pool.
+	EventAlloc EventKind = iota
+	// EventFree is a tensor returned to the pool.
+	EventFree
+	// EventSegment is a new backing segment reserved from the device.
+	EventSegment
+)
+
+// Event is one pool operation, delivered to registered observers.
+type Event struct {
+	Kind EventKind
+	// Ptr and Size describe the tensor (or segment) involved.
+	Ptr  gpu.DevicePtr
+	Size uint64
+	// Allocated is the total bytes handed out to live tensors after the
+	// operation; Reserved is the total bytes of backing segments. The gap
+	// between the two is the pool's cache.
+	Allocated uint64
+	Reserved  uint64
+}
+
+// Observer receives pool events (the ThreadLocalDebugInfo-callback analog).
+type Observer func(Event)
+
+// Observable is any custom memory allocator that can surface its operation
+// stream to the profiler — the caching Pool and the BFC arena both
+// implement it, as would adapters for other frameworks' allocators.
+type Observable interface {
+	// Register adds an event observer, invoked synchronously after each
+	// pool operation in registration order.
+	Register(Observer)
+}
+
+// roundTo is the pool's size-class granularity, matching PyTorch's 512-byte
+// rounding.
+const roundTo = 512
+
+// Stats is a snapshot of pool accounting.
+type Stats struct {
+	// Allocated is the bytes currently handed out to tensors.
+	Allocated uint64
+	// Reserved is the bytes of device memory backing the pool.
+	Reserved uint64
+	// PeakAllocated and PeakReserved are lifetime high-water marks.
+	PeakAllocated uint64
+	PeakReserved  uint64
+	// CacheHits counts allocations served from cached blocks; CacheMisses
+	// counts allocations that carved fresh segment space.
+	CacheHits   uint64
+	CacheMisses uint64
+	// Segments is the number of backing segments reserved.
+	Segments int
+}
+
+// span is a free region inside a segment.
+type span struct {
+	ptr  gpu.DevicePtr
+	size uint64
+}
+
+// Pool is a caching allocator over one device.
+type Pool struct {
+	dev *gpu.Device
+	// segmentSize is the growth unit when the pool needs device memory.
+	segmentSize uint64
+
+	// bins maps rounded sizes to cached free blocks (LIFO for locality).
+	bins map[uint64][]gpu.DevicePtr
+	// liveTensors maps tensor base pointers to their rounded sizes.
+	liveTensors map[gpu.DevicePtr]uint64
+	// tail spans hold the un-carved remainder of each segment.
+	tails []span
+	// segments tracks backing allocations for release.
+	segments []gpu.DevicePtr
+
+	observers []Observer
+	stats     Stats
+}
+
+// New creates a pool growing in segments of segmentSize bytes (rounded up
+// to the size-class granularity; 0 selects 1 MiB).
+func New(dev *gpu.Device, segmentSize uint64) *Pool {
+	if segmentSize == 0 {
+		segmentSize = 1 << 20
+	}
+	segmentSize = round(segmentSize)
+	return &Pool{
+		dev:         dev,
+		segmentSize: segmentSize,
+		bins:        make(map[uint64][]gpu.DevicePtr),
+		liveTensors: make(map[gpu.DevicePtr]uint64),
+	}
+}
+
+// Register adds a pool-event observer. Observers fire synchronously in
+// registration order, after the pool op completes.
+func (p *Pool) Register(o Observer) { p.observers = append(p.observers, o) }
+
+// Stats returns the accounting snapshot.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// round rounds a request up to the pool's size class.
+func round(n uint64) uint64 {
+	if n == 0 {
+		n = 1
+	}
+	return (n + roundTo - 1) / roundTo * roundTo
+}
+
+// Alloc serves a tensor request. The fast path reuses a cached block of the
+// same size class; the slow path carves fresh space, reserving a new device
+// segment when necessary (requests larger than the segment size get a
+// dedicated segment, as PyTorch's large-block path does).
+func (p *Pool) Alloc(size uint64) (gpu.DevicePtr, error) {
+	r := round(size)
+
+	var ptr gpu.DevicePtr
+	if blocks := p.bins[r]; len(blocks) > 0 {
+		ptr = blocks[len(blocks)-1]
+		p.bins[r] = blocks[:len(blocks)-1]
+		p.stats.CacheHits++
+	} else {
+		var err error
+		ptr, err = p.carve(r)
+		if err != nil {
+			return 0, err
+		}
+		p.stats.CacheMisses++
+	}
+
+	p.liveTensors[ptr] = r
+	p.stats.Allocated += r
+	if p.stats.Allocated > p.stats.PeakAllocated {
+		p.stats.PeakAllocated = p.stats.Allocated
+	}
+
+	// Surface the custom-API allocation to the profiler (paper §5.4).
+	p.dev.CustomAlloc("pool.alloc", ptr, size)
+	p.notify(Event{Kind: EventAlloc, Ptr: ptr, Size: r,
+		Allocated: p.stats.Allocated, Reserved: p.stats.Reserved})
+	return ptr, nil
+}
+
+// carve takes r bytes from a segment tail, reserving a new segment first if
+// no tail fits.
+func (p *Pool) carve(r uint64) (gpu.DevicePtr, error) {
+	idx := -1
+	for i := range p.tails {
+		if p.tails[i].size >= r {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		segSize := p.segmentSize
+		if r > segSize {
+			segSize = r
+		}
+		seg, err := p.dev.Malloc(segSize)
+		if err != nil {
+			return 0, fmt.Errorf("pool: reserving %d-byte segment: %w", segSize, err)
+		}
+		p.segments = append(p.segments, seg)
+		p.stats.Segments++
+		p.stats.Reserved += segSize
+		if p.stats.Reserved > p.stats.PeakReserved {
+			p.stats.PeakReserved = p.stats.Reserved
+		}
+		p.tails = append(p.tails, span{ptr: seg, size: segSize})
+		idx = len(p.tails) - 1
+		p.notify(Event{Kind: EventSegment, Ptr: seg, Size: segSize,
+			Allocated: p.stats.Allocated, Reserved: p.stats.Reserved})
+	}
+	ptr := p.tails[idx].ptr
+	p.tails[idx].ptr += gpu.DevicePtr(r)
+	p.tails[idx].size -= r
+	if p.tails[idx].size == 0 {
+		p.tails = append(p.tails[:idx], p.tails[idx+1:]...)
+	}
+	return ptr, nil
+}
+
+// Free returns a tensor to the pool cache. The device memory stays
+// reserved — the defining behaviour of caching allocators, and the reason
+// "reserved" can exceed "allocated".
+func (p *Pool) Free(ptr gpu.DevicePtr) error {
+	r, ok := p.liveTensors[ptr]
+	if !ok {
+		return fmt.Errorf("%w: 0x%x", ErrPoolInvalidFree, uint64(ptr))
+	}
+	delete(p.liveTensors, ptr)
+	p.bins[r] = append(p.bins[r], ptr)
+	p.stats.Allocated -= r
+
+	p.dev.CustomFree("pool.free", ptr)
+	p.notify(Event{Kind: EventFree, Ptr: ptr, Size: r,
+		Allocated: p.stats.Allocated, Reserved: p.stats.Reserved})
+	return nil
+}
+
+// Release returns every backing segment to the device (the
+// emptyCache analog). Live tensors must have been freed first; Release
+// reports an error if any remain.
+func (p *Pool) Release() error {
+	if len(p.liveTensors) > 0 {
+		return fmt.Errorf("pool: release with %d live tensors", len(p.liveTensors))
+	}
+	// Free in address order for determinism.
+	sort.Slice(p.segments, func(i, j int) bool { return p.segments[i] < p.segments[j] })
+	for _, seg := range p.segments {
+		if err := p.dev.Free(seg); err != nil {
+			return err
+		}
+	}
+	p.segments = nil
+	p.tails = nil
+	p.bins = make(map[uint64][]gpu.DevicePtr)
+	p.stats.Reserved = 0
+	p.stats.Segments = 0
+	return nil
+}
+
+// notify delivers an event to all observers.
+func (p *Pool) notify(ev Event) {
+	for _, o := range p.observers {
+		o(ev)
+	}
+}

@@ -1,0 +1,188 @@
+package pool
+
+import (
+	"errors"
+	"testing"
+
+	"drgpum/internal/gpu"
+)
+
+func newPool(segment uint64) (*gpu.Device, *Pool) {
+	dev := gpu.NewDevice(gpu.SpecTest())
+	return dev, New(dev, segment)
+}
+
+func TestPoolAllocFreeReuse(t *testing.T) {
+	dev, p := newPool(16 << 10)
+
+	t1, err := p.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(t1); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p.Alloc(900) // same 1024-byte size class: must reuse
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 != t1 {
+		t.Errorf("cache miss on same size class: got 0x%x want 0x%x", uint64(t2), uint64(t1))
+	}
+	st := p.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// One backing segment only.
+	if dev.MemStats().LiveAllocations != 1 {
+		t.Errorf("device allocations = %d", dev.MemStats().LiveAllocations)
+	}
+}
+
+func TestPoolRounding(t *testing.T) {
+	_, p := newPool(16 << 10)
+	t1, _ := p.Alloc(1)
+	t2, _ := p.Alloc(1)
+	if t2-t1 != 512 {
+		t.Errorf("size-class rounding: tensors %d bytes apart, want 512", t2-t1)
+	}
+	if got := p.Stats().Allocated; got != 1024 {
+		t.Errorf("allocated = %d, want 2 rounded tensors", got)
+	}
+}
+
+func TestPoolAccounting(t *testing.T) {
+	_, p := newPool(16 << 10)
+	a, _ := p.Alloc(4096)
+	b, _ := p.Alloc(4096)
+	st := p.Stats()
+	if st.Allocated != 8192 || st.Reserved != 16<<10 || st.Segments != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	_ = p.Free(a)
+	st = p.Stats()
+	if st.Allocated != 4096 {
+		t.Errorf("allocated after free = %d", st.Allocated)
+	}
+	if st.Reserved != 16<<10 {
+		t.Errorf("reserved shrank on tensor free: %d", st.Reserved)
+	}
+	if st.PeakAllocated != 8192 {
+		t.Errorf("peak allocated = %d", st.PeakAllocated)
+	}
+	_ = p.Free(b)
+}
+
+func TestPoolSegmentGrowth(t *testing.T) {
+	dev, p := newPool(4 << 10)
+	var tensors []gpu.DevicePtr
+	for i := 0; i < 5; i++ { // 5 x 2 KiB > one 4 KiB segment
+		tp, err := p.Alloc(2 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tensors = append(tensors, tp)
+	}
+	st := p.Stats()
+	if st.Segments < 3 {
+		t.Errorf("segments = %d, want growth", st.Segments)
+	}
+	if st.Reserved != uint64(st.Segments)*(4<<10) {
+		t.Errorf("reserved = %d for %d segments", st.Reserved, st.Segments)
+	}
+	if dev.MemStats().LiveAllocations != st.Segments {
+		t.Errorf("device sees %d allocations for %d segments", dev.MemStats().LiveAllocations, st.Segments)
+	}
+	for _, tp := range tensors {
+		if err := p.Free(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolLargeRequestDedicatedSegment(t *testing.T) {
+	_, p := newPool(4 << 10)
+	tp, err := p.Alloc(64 << 10) // larger than the segment size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Reserved; got != 64<<10 {
+		t.Errorf("reserved = %d, want a dedicated right-sized segment", got)
+	}
+	_ = p.Free(tp)
+}
+
+func TestPoolInvalidFree(t *testing.T) {
+	_, p := newPool(16 << 10)
+	if err := p.Free(0x1234); !errors.Is(err, ErrPoolInvalidFree) {
+		t.Errorf("err = %v", err)
+	}
+	tp, _ := p.Alloc(100)
+	_ = p.Free(tp)
+	if err := p.Free(tp); !errors.Is(err, ErrPoolInvalidFree) {
+		t.Errorf("double free err = %v", err)
+	}
+}
+
+func TestPoolRelease(t *testing.T) {
+	dev, p := newPool(8 << 10)
+	tp, _ := p.Alloc(100)
+	if err := p.Release(); err == nil {
+		t.Error("Release with live tensors must fail")
+	}
+	_ = p.Free(tp)
+	if err := p.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.MemStats().LiveAllocations != 0 {
+		t.Errorf("device allocations after Release = %d", dev.MemStats().LiveAllocations)
+	}
+	if p.Stats().Reserved != 0 {
+		t.Errorf("reserved after Release = %d", p.Stats().Reserved)
+	}
+	// The pool keeps working after a Release.
+	if _, err := p.Alloc(100); err != nil {
+		t.Errorf("alloc after Release: %v", err)
+	}
+}
+
+func TestPoolObserverEvents(t *testing.T) {
+	_, p := newPool(8 << 10)
+	var events []Event
+	p.Register(func(ev Event) { events = append(events, ev) })
+
+	tp, _ := p.Alloc(1000)
+	_ = p.Free(tp)
+
+	if len(events) != 3 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Kind != EventSegment || events[0].Size != 8<<10 {
+		t.Errorf("first event = %+v, want the segment reservation", events[0])
+	}
+	if events[1].Kind != EventAlloc || events[1].Ptr != tp || events[1].Allocated != 1024 {
+		t.Errorf("alloc event = %+v", events[1])
+	}
+	if events[2].Kind != EventFree || events[2].Allocated != 0 {
+		t.Errorf("free event = %+v", events[2])
+	}
+}
+
+func TestPoolDataSurvivesThroughDevice(t *testing.T) {
+	dev, p := newPool(8 << 10)
+	tp, _ := p.Alloc(256)
+	// Tensors live inside a device segment: copies into them work.
+	payload := []byte{1, 2, 3, 4}
+	if err := dev.MemcpyHtoD(tp, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4)
+	if err := dev.MemcpyDtoH(out, tp, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if out[i] != payload[i] {
+			t.Fatalf("tensor data = %v", out)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package profile_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drgpum/internal/core"
+	"drgpum/internal/gpu"
+	"drgpum/internal/profile"
+)
+
+// FuzzLoad feeds arbitrary bytes to the profile loader: it must reject or
+// accept, never panic, and anything it accepts must survive analysis and a
+// re-save round trip. Run `go test -fuzz=FuzzLoad ./internal/profile` to
+// explore beyond the seed corpus.
+func FuzzLoad(f *testing.F) {
+	// Seeds: garbage, an empty document, minimal valid documents, and a
+	// real saved profile.
+	f.Add([]byte("not json at all"))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"apis":[{"index":0,"kind":0,"name":"cudaMalloc","ptr":4096,"size":64}],` +
+		`"objects":[{"ptr":4096,"size":64,"alloc_api":0,"free_api":-1}]}`))
+	f.Add([]byte(`{"version":1,"apis":[{"index":0,"kind":4,"name":"k"}],"objects":[` +
+		`{"ptr":1,"size":8,"alloc_api":0,"free_api":0,"accesses":[{"api":0,"kind":4,"r":true}]}]}`))
+	var buf bytes.Buffer
+	if err := recordSmall().SaveProfile(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, meta, err := profile.Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever loads must analyze and render without panicking...
+		rep, err := core.AnalyzeProfile(bytes.NewReader(data), core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("Load accepted but AnalyzeProfile rejected: %v", err)
+		}
+		var sb strings.Builder
+		rep.Render(&sb, true)
+		// ...and must survive a save/load round trip.
+		var out bytes.Buffer
+		if err := profile.Save(tr, meta, &out); err != nil {
+			t.Fatalf("re-save failed: %v", err)
+		}
+		if _, _, err := profile.Load(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// recordSmall produces a real report for the seed corpus.
+func recordSmall() *core.Report {
+	dev := gpu.NewDevice(gpu.SpecTest())
+	prof := core.Attach(dev, core.DefaultConfig())
+	a, _ := dev.Malloc(256)
+	_ = dev.Memset(a, 0, 256, nil)
+	_ = dev.Free(a)
+	return prof.Finish()
+}

@@ -1,0 +1,259 @@
+// Package profile serializes object-level memory access traces, realizing
+// the paper's online/offline split (§4) as a file format: the online data
+// collector records on one machine, and the offline analyzer can replay
+// pattern detection later — including with different thresholds, since
+// every X in §3 is "user-tunable" and re-tuning must not require re-running
+// the application.
+//
+// The format is versioned JSON. It captures everything the object-level
+// detectors, peak analyzer and GUI need: API records (kind, stream,
+// sequence, sizes, timing), object lifetimes with their access event lists,
+// and resolved call-path frames. Intra-object access maps are an online
+// structure and are not serialized; a loaded profile supports object-level
+// re-analysis only (the same asymmetry the paper's tool has: intra-object
+// results are produced during the run).
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"drgpum/internal/callpath"
+	"drgpum/internal/gpu"
+	"drgpum/internal/trace"
+)
+
+// FormatVersion is bumped on breaking changes to the file layout.
+const FormatVersion = 1
+
+// File is the serialized profile.
+type File struct {
+	Version int    `json:"version"`
+	Device  string `json:"device"`
+	// Cycles is the simulated execution time of the run.
+	Cycles uint64 `json:"cycles"`
+	// PeakBytes is the device allocator's high-water mark.
+	PeakBytes uint64 `json:"peak_bytes"`
+
+	APIs    []apiJSON             `json:"apis"`
+	Objects []objectJSON          `json:"objects"`
+	Paths   map[uint32][]pathJSON `json:"paths"`
+}
+
+// apiJSON is one GPU API record.
+type apiJSON struct {
+	Index  uint64 `json:"index"`
+	Kind   uint8  `json:"kind"`
+	Name   string `json:"name"`
+	Stream int    `json:"stream"`
+	Seq    int    `json:"seq"`
+	Ptr    uint64 `json:"ptr,omitempty"`
+	Size   uint64 `json:"size,omitempty"`
+	Custom bool   `json:"custom,omitempty"`
+	Start  uint64 `json:"start_cycle,omitempty"`
+	End    uint64 `json:"end_cycle,omitempty"`
+	Path   uint32 `json:"path,omitempty"`
+}
+
+// objectJSON is one data object with its access timeline.
+type objectJSON struct {
+	Ptr         uint64      `json:"ptr"`
+	Size        uint64      `json:"size"`
+	ElemSize    uint32      `json:"elem_size,omitempty"`
+	Label       string      `json:"label,omitempty"`
+	AllocAPI    uint64      `json:"alloc_api"`
+	FreeAPI     int64       `json:"free_api"`
+	AllocPath   uint32      `json:"alloc_path,omitempty"`
+	FreePath    uint32      `json:"free_path,omitempty"`
+	Pool        bool        `json:"pool,omitempty"`
+	PoolSegment bool        `json:"pool_segment,omitempty"`
+	Accesses    []eventJSON `json:"accesses,omitempty"`
+}
+
+// eventJSON is one access event.
+type eventJSON struct {
+	API   uint64 `json:"api"`
+	Kind  uint8  `json:"kind"`
+	Read  bool   `json:"r,omitempty"`
+	Write bool   `json:"w,omitempty"`
+}
+
+// pathJSON is one resolved frame.
+type pathJSON struct {
+	Function string `json:"fn"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+}
+
+// Meta carries run-level values that live outside the trace.
+type Meta struct {
+	Device    string
+	Cycles    uint64
+	PeakBytes uint64
+}
+
+// Save writes the trace as a profile file. The trace's Unwinder must be the
+// live *callpath.Unwinder that captured the paths (or a Frozen resolver
+// from a previous load).
+func Save(t *trace.Trace, meta Meta, w io.Writer) error {
+	f := File{
+		Version:   FormatVersion,
+		Device:    meta.Device,
+		Cycles:    meta.Cycles,
+		PeakBytes: meta.PeakBytes,
+		Paths:     map[uint32][]pathJSON{},
+	}
+
+	// Only referenced paths are written; resolving through the interface
+	// keeps Save working for both live and re-saved profiles.
+	addPath := func(id callpath.PathID) {
+		if id == 0 {
+			return
+		}
+		if _, ok := f.Paths[uint32(id)]; ok {
+			return
+		}
+		var frames []pathJSON
+		for _, fr := range t.Unwinder.Frames(id) {
+			frames = append(frames, pathJSON{Function: fr.Function, File: fr.File, Line: fr.Line})
+		}
+		f.Paths[uint32(id)] = frames
+	}
+
+	for _, a := range t.APIs {
+		addPath(a.Path)
+		f.APIs = append(f.APIs, apiJSON{
+			Index:  a.Rec.Index,
+			Kind:   uint8(a.Rec.Kind),
+			Name:   a.Rec.Name,
+			Stream: a.Rec.Stream,
+			Seq:    a.Rec.SeqInStream,
+			Ptr:    uint64(a.Rec.Ptr),
+			Size:   a.Rec.Size,
+			Custom: a.Rec.Custom,
+			Start:  a.Rec.StartCycle,
+			End:    a.Rec.EndCycle,
+			Path:   uint32(a.Path),
+		})
+	}
+	for _, o := range t.Objects {
+		addPath(o.AllocPath)
+		addPath(o.FreePath)
+		oj := objectJSON{
+			Ptr:         uint64(o.Ptr),
+			Size:        o.Size,
+			ElemSize:    o.ElemSize,
+			Label:       o.Label,
+			AllocAPI:    o.AllocAPI,
+			FreeAPI:     o.FreeAPI,
+			AllocPath:   uint32(o.AllocPath),
+			FreePath:    uint32(o.FreePath),
+			Pool:        o.Pool,
+			PoolSegment: o.PoolSegment,
+		}
+		for _, ev := range o.Accesses {
+			oj.Accesses = append(oj.Accesses, eventJSON{
+				API: ev.API, Kind: uint8(ev.APIKind), Read: ev.Read, Write: ev.Write,
+			})
+		}
+		f.Objects = append(f.Objects, oj)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// Load reads a profile file back into a trace (topological timestamps are
+// not stored; run depgraph.Annotate before detection) plus its metadata.
+func Load(r io.Reader) (*trace.Trace, Meta, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, Meta{}, fmt.Errorf("profile: decoding: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, Meta{}, fmt.Errorf("profile: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+
+	paths := make(map[callpath.PathID][]callpath.Frame, len(f.Paths))
+	for id, frames := range f.Paths {
+		fs := make([]callpath.Frame, len(frames))
+		for i, fr := range frames {
+			fs[i] = callpath.Frame{Function: fr.Function, File: fr.File, Line: fr.Line}
+		}
+		paths[callpath.PathID(id)] = fs
+	}
+
+	t := &trace.Trace{Unwinder: callpath.NewFrozen(paths)}
+	for i, a := range f.APIs {
+		if a.Index != uint64(i) {
+			return nil, Meta{}, fmt.Errorf("profile: API %d out of order (index %d)", i, a.Index)
+		}
+		t.APIs = append(t.APIs, &trace.APIInfo{
+			Rec: &gpu.APIRecord{
+				Index:       a.Index,
+				Kind:        gpu.APIKind(a.Kind),
+				Name:        a.Name,
+				Stream:      a.Stream,
+				SeqInStream: a.Seq,
+				Ptr:         gpu.DevicePtr(a.Ptr),
+				Size:        a.Size,
+				Custom:      a.Custom,
+				StartCycle:  a.Start,
+				EndCycle:    a.End,
+			},
+			Path: callpath.PathID(a.Path),
+			Topo: a.Index, // provisional; depgraph.Annotate recomputes
+		})
+	}
+	nAPIs := uint64(len(t.APIs))
+	for i, oj := range f.Objects {
+		if oj.AllocAPI >= nAPIs || (oj.FreeAPI != trace.NoAPI && uint64(oj.FreeAPI) >= nAPIs) {
+			return nil, Meta{}, fmt.Errorf("profile: object %d references missing APIs", i)
+		}
+		// Semantic invariants of a real trace — without them the lifetime
+		// events would put cycles into the dependency graph: deallocation
+		// strictly after allocation, accesses strictly increasing and
+		// strictly inside the lifetime window.
+		if oj.FreeAPI != trace.NoAPI && uint64(oj.FreeAPI) <= oj.AllocAPI {
+			return nil, Meta{}, fmt.Errorf("profile: object %d freed (API %d) at or before its allocation (API %d)",
+				i, oj.FreeAPI, oj.AllocAPI)
+		}
+		prev := oj.AllocAPI
+		for _, ev := range oj.Accesses {
+			if ev.API <= prev {
+				return nil, Meta{}, fmt.Errorf("profile: object %d access at API %d is not strictly after API %d",
+					i, ev.API, prev)
+			}
+			if oj.FreeAPI != trace.NoAPI && ev.API >= uint64(oj.FreeAPI) {
+				return nil, Meta{}, fmt.Errorf("profile: object %d accessed (API %d) at or after its free", i, ev.API)
+			}
+			prev = ev.API
+		}
+		o := &trace.Object{
+			ID:          trace.ObjectID(i),
+			Ptr:         gpu.DevicePtr(oj.Ptr),
+			Size:        oj.Size,
+			ElemSize:    oj.ElemSize,
+			Label:       oj.Label,
+			AllocAPI:    oj.AllocAPI,
+			FreeAPI:     oj.FreeAPI,
+			AllocPath:   callpath.PathID(oj.AllocPath),
+			FreePath:    callpath.PathID(oj.FreePath),
+			Pool:        oj.Pool,
+			PoolSegment: oj.PoolSegment,
+		}
+		for _, ev := range oj.Accesses {
+			if ev.API >= nAPIs {
+				return nil, Meta{}, fmt.Errorf("profile: object %d access references missing API %d", i, ev.API)
+			}
+			o.Accesses = append(o.Accesses, trace.AccessEvent{
+				API: ev.API, APIKind: gpu.APIKind(ev.Kind), Read: ev.Read, Write: ev.Write,
+			})
+		}
+		t.Objects = append(t.Objects, o)
+	}
+
+	return t, Meta{Device: f.Device, Cycles: f.Cycles, PeakBytes: f.PeakBytes}, nil
+}

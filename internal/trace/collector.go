@@ -1,0 +1,258 @@
+package trace
+
+import (
+	"drgpum/internal/callpath"
+	"drgpum/internal/gpu"
+)
+
+// AccessSink receives object-attributed memory accesses of instrumented
+// kernels. The intra-object analyzer implements this to maintain its access
+// bitmaps and frequency maps (paper §5.2).
+type AccessSink interface {
+	// ObjectAccess reports one memory instruction that touched object o
+	// while GPU API rec (always a kernel launch) was executing.
+	ObjectAccess(o *Object, rec *gpu.APIRecord, a gpu.MemAccess)
+}
+
+// Collector is the online data collector of paper §4: it subscribes to the
+// Sanitizer-analog hooks, intercepts every GPU API, maintains the live
+// memory map M, unwinds call paths, and incrementally builds the
+// object-level access trace.
+type Collector struct {
+	unwinder *callpath.Unwinder
+	trace    *Trace
+	mmap     *MemoryMap
+
+	sink AccessSink
+
+	// hostTrace mirrors gpu.ObjectIDHostTrace: kernel object touches are
+	// reconstructed on the host from the raw access stream instead of from
+	// device hit flags.
+	hostTrace bool
+
+	// DefaultElemSize is the element width assumed for objects the
+	// application does not annotate.
+	DefaultElemSize uint32
+
+	// pending accumulates object touches of the kernel currently executing
+	// in host-trace mode.
+	pendingReads  map[ObjectID]bool
+	pendingWrites map[ObjectID]bool
+
+	scratch []ObjectID
+}
+
+var _ gpu.Hook = (*Collector)(nil)
+
+// NewCollector creates a collector with an empty trace.
+func NewCollector() *Collector {
+	u := callpath.NewUnwinder()
+	return &Collector{
+		unwinder:        u,
+		trace:           &Trace{Unwinder: u},
+		mmap:            NewMemoryMap(),
+		DefaultElemSize: 4,
+		pendingReads:    make(map[ObjectID]bool),
+		pendingWrites:   make(map[ObjectID]bool),
+	}
+}
+
+// SetSink installs the intra-object access consumer.
+func (c *Collector) SetSink(s AccessSink) { c.sink = s }
+
+// SetHostTraceMode switches kernel object identification to the host-side
+// reconstruction baseline (must match the device's ObjectIDMode).
+func (c *Collector) SetHostTraceMode(on bool) { c.hostTrace = on }
+
+// Trace returns the trace built so far. Topological timestamps are only
+// valid after the profiler's dependency pass has run.
+func (c *Collector) Trace() *Trace { return c.trace }
+
+// MemoryMap exposes the live-object map (used by the custom-pool bridge).
+func (c *Collector) MemoryMap() *MemoryMap { return c.mmap }
+
+// Unwinder returns the call-path interner shared with the trace.
+func (c *Collector) Unwinder() *callpath.Unwinder { return c.unwinder }
+
+// Annotate attaches an application-facing label and element size to the live
+// object based at ptr. Element size 0 keeps the default. Annotation is how
+// workloads give objects the names the paper's reports use (q_dx,
+// l.weights_gpu, pMem_conformations, ...).
+func (c *Collector) Annotate(ptr gpu.DevicePtr, label string, elemSize uint32) bool {
+	id, ok := c.mmap.LookupBase(ptr)
+	if !ok {
+		return false
+	}
+	o := c.trace.Objects[id]
+	o.Label = label
+	if elemSize != 0 {
+		o.ElemSize = elemSize
+	}
+	return true
+}
+
+// MarkPoolSegment flags the live object based at ptr as a pool backing
+// segment and delists it from the memory map, so subsequent accesses inside
+// the segment attribute to the pool tensors carved from it (paper §5.4).
+func (c *Collector) MarkPoolSegment(ptr gpu.DevicePtr) bool {
+	id, ok := c.mmap.LookupBase(ptr)
+	if !ok {
+		return false
+	}
+	c.trace.Objects[id].PoolSegment = true
+	c.mmap.Remove(ptr)
+	return true
+}
+
+// LiveRanges returns the address ranges of the memory map's live objects in
+// address order — the table the device hit-flag scheme snapshots at each
+// kernel launch.
+func (c *Collector) LiveRanges() []gpu.Range {
+	return c.mmap.LiveRanges()
+}
+
+// LiveObject returns the live object containing addr, if any.
+func (c *Collector) LiveObject(addr gpu.DevicePtr) (*Object, bool) {
+	id, ok := c.mmap.Lookup(addr)
+	if !ok {
+		return nil, false
+	}
+	return c.trace.Objects[id], true
+}
+
+// OnAPI implements gpu.Hook. It runs synchronously at each GPU API
+// completion on the invoking goroutine, so the call-path capture below sees
+// the application stack that issued the API.
+func (c *Collector) OnAPI(rec *gpu.APIRecord) {
+	info := &APIInfo{
+		Rec: rec,
+		// Skip OnAPI and the device's emit helper so the leaf frame is the
+		// device API (Malloc/Launch/...) call site in application code.
+		Path: c.unwinder.Capture(2),
+		// Provisional timestamp: invocation order. The dependency pass
+		// overwrites this for multi-stream programs.
+		Topo: rec.Index,
+	}
+
+	switch rec.Kind {
+	case gpu.APIMalloc:
+		o := &Object{
+			ID:       ObjectID(len(c.trace.Objects)),
+			Ptr:      rec.Ptr,
+			Size:     rec.Size,
+			ElemSize: c.DefaultElemSize,
+			AllocAPI: rec.Index,
+			FreeAPI:  NoAPI,
+			Pool:     rec.Custom,
+		}
+		o.AllocPath = info.Path
+		c.trace.Objects = append(c.trace.Objects, o)
+		c.mmap.Insert(o.ID, o.Range())
+		info.Obj, info.HasObj = o.ID, true
+
+	case gpu.APIFree:
+		if id, ok := c.mmap.Remove(rec.Ptr); ok {
+			o := c.trace.Objects[id]
+			o.FreeAPI = int64(rec.Index)
+			o.FreePath = info.Path
+			info.Obj, info.HasObj = id, true
+		}
+
+	case gpu.APIMemcpy, gpu.APIMemset:
+		c.attributeRanges(info, rec)
+
+	case gpu.APIKernel:
+		if c.hostTrace {
+			// Host-trace mode: consume the touches reconstructed while the
+			// kernel's access stream arrived.
+			for id := range c.pendingReads {
+				c.trace.Objects[id].touch(rec.Index, rec.Kind, true, false)
+				info.ReadObjs = append(info.ReadObjs, id)
+			}
+			for id := range c.pendingWrites {
+				c.trace.Objects[id].touch(rec.Index, rec.Kind, false, true)
+				info.WriteObjs = append(info.WriteObjs, id)
+			}
+			clear(c.pendingReads)
+			clear(c.pendingWrites)
+			sortObjectIDs(info.ReadObjs)
+			sortObjectIDs(info.WriteObjs)
+		} else {
+			// Hit-flag mode: the record carries object-resolution ranges.
+			c.attributeRanges(info, rec)
+		}
+	}
+
+	// Keep the APIs slice dense and indexed by invocation index.
+	for uint64(len(c.trace.APIs)) < rec.Index {
+		c.trace.APIs = append(c.trace.APIs, nil)
+	}
+	c.trace.APIs = append(c.trace.APIs, info)
+}
+
+// attributeRanges maps the record's read/written address ranges to live
+// objects and records the touches.
+func (c *Collector) attributeRanges(info *APIInfo, rec *gpu.APIRecord) {
+	for _, r := range rec.Reads {
+		c.scratch = c.mmap.Overlapping(c.scratch[:0], r)
+		for _, id := range c.scratch {
+			c.trace.Objects[id].touch(rec.Index, rec.Kind, true, false)
+			info.ReadObjs = appendUnique(info.ReadObjs, id)
+		}
+	}
+	for _, r := range rec.Writes {
+		c.scratch = c.mmap.Overlapping(c.scratch[:0], r)
+		for _, id := range c.scratch {
+			c.trace.Objects[id].touch(rec.Index, rec.Kind, false, true)
+			info.WriteObjs = appendUnique(info.WriteObjs, id)
+		}
+	}
+}
+
+// OnAccessBatch implements gpu.Hook: it receives the per-instruction access
+// stream of instrumented kernels, attributes each access to its object and
+// forwards it to the intra-object sink. In host-trace mode it additionally
+// reconstructs the kernel's object touch set (the expensive path the paper's
+// Figure 5 optimization avoids).
+func (c *Collector) OnAccessBatch(rec *gpu.APIRecord, batch []gpu.MemAccess) {
+	for _, a := range batch {
+		if a.Space != gpu.SpaceGlobal {
+			continue
+		}
+		id, ok := c.mmap.Lookup(a.Addr)
+		if !ok {
+			continue
+		}
+		if c.hostTrace {
+			if a.Kind == gpu.AccessRead {
+				c.pendingReads[id] = true
+			} else {
+				c.pendingWrites[id] = true
+			}
+		}
+		if c.sink != nil && rec.Instrumented {
+			c.sink.ObjectAccess(c.trace.Objects[id], rec, a)
+		}
+	}
+}
+
+// appendUnique appends id if it is not already present (touch lists per API
+// are tiny, so linear scan beats a map).
+func appendUnique(s []ObjectID, id ObjectID) []ObjectID {
+	for _, x := range s {
+		if x == id {
+			return s
+		}
+	}
+	return append(s, id)
+}
+
+// sortObjectIDs sorts in place (insertion sort; host-trace touch sets are
+// small and this avoids an import).
+func sortObjectIDs(s []ObjectID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"sort"
+
+	"drgpum/internal/gpu"
+)
+
+// MemoryMap is the memory map "M" of paper §5.1: the set of live data
+// objects keyed by address range, supporting the binary-search lookups that
+// attribute memory copies, sets and kernel accesses to objects.
+type MemoryMap struct {
+	// entries are live objects sorted by base address. Live allocations
+	// never overlap, so a single sorted slice suffices.
+	entries []mapEntry
+}
+
+type mapEntry struct {
+	rng gpu.Range
+	id  ObjectID
+}
+
+// NewMemoryMap creates an empty map.
+func NewMemoryMap() *MemoryMap { return &MemoryMap{} }
+
+// Len returns the number of live objects.
+func (m *MemoryMap) Len() int { return len(m.entries) }
+
+// Insert registers a live object. Ranges of live objects must not overlap;
+// the allocator guarantees this for real traces.
+func (m *MemoryMap) Insert(id ObjectID, rng gpu.Range) {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].rng.Addr > rng.Addr })
+	m.entries = append(m.entries, mapEntry{})
+	copy(m.entries[i+1:], m.entries[i:])
+	m.entries[i] = mapEntry{rng: rng, id: id}
+}
+
+// Remove unregisters the object whose range starts exactly at addr and
+// returns its ID. The second result is false if no live object starts there.
+func (m *MemoryMap) Remove(addr gpu.DevicePtr) (ObjectID, bool) {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].rng.Addr >= addr })
+	if i == len(m.entries) || m.entries[i].rng.Addr != addr {
+		return 0, false
+	}
+	id := m.entries[i].id
+	m.entries = append(m.entries[:i], m.entries[i+1:]...)
+	return id, true
+}
+
+// Lookup returns the live object containing addr.
+func (m *MemoryMap) Lookup(addr gpu.DevicePtr) (ObjectID, bool) {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].rng.Addr > addr })
+	if i == 0 {
+		return 0, false
+	}
+	if m.entries[i-1].rng.Contains(addr) {
+		return m.entries[i-1].id, true
+	}
+	return 0, false
+}
+
+// LookupBase returns the live object whose range starts exactly at addr.
+func (m *MemoryMap) LookupBase(addr gpu.DevicePtr) (ObjectID, bool) {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].rng.Addr >= addr })
+	if i < len(m.entries) && m.entries[i].rng.Addr == addr {
+		return m.entries[i].id, true
+	}
+	return 0, false
+}
+
+// Overlapping appends to dst the IDs of all live objects intersecting rng,
+// in address order, and returns the extended slice.
+func (m *MemoryMap) Overlapping(dst []ObjectID, rng gpu.Range) []ObjectID {
+	// First entry that could overlap: the one containing rng.Addr, or the
+	// first starting after it.
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].rng.Addr > rng.Addr })
+	if i > 0 && m.entries[i-1].rng.Overlaps(rng) {
+		i--
+	}
+	for ; i < len(m.entries) && m.entries[i].rng.Addr < rng.End(); i++ {
+		if m.entries[i].rng.Overlaps(rng) {
+			dst = append(dst, m.entries[i].id)
+		}
+	}
+	return dst
+}
+
+// LiveRanges returns the address ranges of all live objects in address
+// order.
+func (m *MemoryMap) LiveRanges() []gpu.Range {
+	out := make([]gpu.Range, len(m.entries))
+	for i, e := range m.entries {
+		out[i] = e.rng
+	}
+	return out
+}
+
+// Live returns the IDs of all live objects in address order.
+func (m *MemoryMap) Live() []ObjectID {
+	out := make([]ObjectID, len(m.entries))
+	for i, e := range m.entries {
+		out[i] = e.id
+	}
+	return out
+}

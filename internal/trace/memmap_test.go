@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drgpum/internal/gpu"
+)
+
+func TestMemoryMapBasic(t *testing.T) {
+	m := NewMemoryMap()
+	m.Insert(1, gpu.Range{Addr: 0x1000, Size: 256})
+	m.Insert(2, gpu.Range{Addr: 0x2000, Size: 128})
+
+	if id, ok := m.Lookup(0x1000); !ok || id != 1 {
+		t.Errorf("Lookup(base) = %d, %v", id, ok)
+	}
+	if id, ok := m.Lookup(0x10ff); !ok || id != 1 {
+		t.Errorf("Lookup(last byte) = %d, %v", id, ok)
+	}
+	if _, ok := m.Lookup(0x1100); ok {
+		t.Error("Lookup just past the end resolved")
+	}
+	if _, ok := m.Lookup(0xfff); ok {
+		t.Error("Lookup just before the start resolved")
+	}
+	if id, ok := m.LookupBase(0x2000); !ok || id != 2 {
+		t.Errorf("LookupBase = %d, %v", id, ok)
+	}
+	if _, ok := m.LookupBase(0x2001); ok {
+		t.Error("LookupBase at interior address resolved")
+	}
+
+	if id, ok := m.Remove(0x1000); !ok || id != 1 {
+		t.Errorf("Remove = %d, %v", id, ok)
+	}
+	if _, ok := m.Lookup(0x1000); ok {
+		t.Error("Lookup after Remove resolved")
+	}
+	if _, ok := m.Remove(0x1000); ok {
+		t.Error("double Remove succeeded")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestMemoryMapOverlapping(t *testing.T) {
+	m := NewMemoryMap()
+	m.Insert(0, gpu.Range{Addr: 100, Size: 50})
+	m.Insert(1, gpu.Range{Addr: 200, Size: 50})
+	m.Insert(2, gpu.Range{Addr: 300, Size: 50})
+
+	got := m.Overlapping(nil, gpu.Range{Addr: 140, Size: 100})
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Overlapping = %v, want [0 1]", got)
+	}
+	got = m.Overlapping(nil, gpu.Range{Addr: 150, Size: 50})
+	if len(got) != 0 {
+		t.Errorf("Overlapping in a hole = %v", got)
+	}
+	got = m.Overlapping(nil, gpu.Range{Addr: 0, Size: 1000})
+	if len(got) != 3 {
+		t.Errorf("Overlapping everything = %v", got)
+	}
+	// The exclusive end must not match.
+	got = m.Overlapping(nil, gpu.Range{Addr: 150, Size: 49})
+	if len(got) != 0 {
+		t.Errorf("touching ranges overlap: %v", got)
+	}
+}
+
+// TestMemoryMapPropertyVsReference compares the map against a brute-force
+// reference model over random insert/remove/lookup sequences.
+func TestMemoryMapPropertyVsReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMemoryMap()
+		type entry struct {
+			id  ObjectID
+			rng gpu.Range
+		}
+		var ref []entry
+		nextID := ObjectID(0)
+
+		overlapsAny := func(r gpu.Range) bool {
+			for _, e := range ref {
+				if e.rng.Overlaps(r) {
+					return true
+				}
+			}
+			return false
+		}
+
+		for op := 0; op < 150; op++ {
+			switch rng.Intn(3) {
+			case 0: // insert a non-overlapping range
+				r := gpu.Range{
+					Addr: gpu.DevicePtr(rng.Intn(1 << 16)),
+					Size: uint64(rng.Intn(256) + 1),
+				}
+				if overlapsAny(r) {
+					continue
+				}
+				m.Insert(nextID, r)
+				ref = append(ref, entry{id: nextID, rng: r})
+				nextID++
+			case 1: // remove a random live entry
+				if len(ref) == 0 {
+					continue
+				}
+				i := rng.Intn(len(ref))
+				id, ok := m.Remove(ref[i].rng.Addr)
+				if !ok || id != ref[i].id {
+					t.Errorf("seed %d: Remove(%v) = %d,%v want %d", seed, ref[i].rng.Addr, id, ok, ref[i].id)
+					return false
+				}
+				ref = append(ref[:i], ref[i+1:]...)
+			case 2: // random point lookup
+				addr := gpu.DevicePtr(rng.Intn(1 << 16))
+				wantID, wantOK := ObjectID(0), false
+				for _, e := range ref {
+					if e.rng.Contains(addr) {
+						wantID, wantOK = e.id, true
+						break
+					}
+				}
+				gotID, gotOK := m.Lookup(addr)
+				if gotOK != wantOK || (gotOK && gotID != wantID) {
+					t.Errorf("seed %d: Lookup(%#x) = %d,%v want %d,%v", seed, uint64(addr), gotID, gotOK, wantID, wantOK)
+					return false
+				}
+			}
+			if m.Len() != len(ref) {
+				t.Errorf("seed %d: Len %d != ref %d", seed, m.Len(), len(ref))
+				return false
+			}
+		}
+
+		// Final: Live() is sorted and matches the reference set.
+		live := m.Live()
+		if len(live) != len(ref) {
+			return false
+		}
+		ranges := m.LiveRanges()
+		for i := 1; i < len(ranges); i++ {
+			if ranges[i-1].Addr >= ranges[i].Addr {
+				t.Errorf("seed %d: LiveRanges out of order", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkMemoryMapLookup measures the point-lookup hot path with many
+// live objects (every copy/set attribution pays this cost).
+func BenchmarkMemoryMapLookup(b *testing.B) {
+	m := NewMemoryMap()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		m.Insert(ObjectID(i), gpu.Range{Addr: gpu.DevicePtr(i * 1024), Size: 512})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := gpu.DevicePtr((i * 7919 % n) * 1024)
+		if _, ok := m.Lookup(addr + 13); !ok {
+			b.Fatal("lookup missed a live object")
+		}
+	}
+}

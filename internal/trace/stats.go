@@ -1,0 +1,62 @@
+package trace
+
+import "drgpum/internal/gpu"
+
+// Stats summarizes a trace's GPU API activity — the run-overview numbers
+// the paper's GUI shows alongside the timeline.
+type Stats struct {
+	// ByKind counts API invocations per class.
+	ByKind map[gpu.APIKind]int
+	// Streams is the number of distinct streams used.
+	Streams int
+	// AllocBytes is the total bytes requested by allocation APIs;
+	// FreedBytes the total released.
+	AllocBytes uint64
+	FreedBytes uint64
+	// CopyBytes and SetBytes are the data volumes of copies and sets.
+	CopyBytes uint64
+	SetBytes  uint64
+	// PoolOps counts custom (pool) memory API invocations.
+	PoolOps int
+	// LeakedObjects counts objects never freed; LeakedBytes their size.
+	LeakedObjects int
+	LeakedBytes   uint64
+	// AccessedObjects counts objects touched by at least one GPU API.
+	AccessedObjects int
+}
+
+// ComputeStats derives the summary from a trace.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{ByKind: make(map[gpu.APIKind]int)}
+	streams := map[int]bool{}
+	for _, a := range t.APIs {
+		s.ByKind[a.Rec.Kind]++
+		streams[a.Rec.Stream] = true
+		switch a.Rec.Kind {
+		case gpu.APIMemcpy:
+			s.CopyBytes += a.Rec.Size
+		case gpu.APIMemset:
+			s.SetBytes += a.Rec.Size
+		}
+		if a.Rec.Custom {
+			s.PoolOps++
+		}
+	}
+	s.Streams = len(streams)
+	for _, o := range t.Objects {
+		if o.PoolSegment {
+			continue
+		}
+		s.AllocBytes += o.Size
+		if o.Freed() {
+			s.FreedBytes += o.Size
+		} else {
+			s.LeakedObjects++
+			s.LeakedBytes += o.Size
+		}
+		if len(o.Accesses) > 0 {
+			s.AccessedObjects++
+		}
+	}
+	return s
+}

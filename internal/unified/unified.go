@@ -1,0 +1,363 @@
+// Package unified implements the paper's stated future work (§8): analyzing
+// memory inefficiencies that live in CPU-GPU *interactions* rather than in
+// GPU code alone — specifically page-level false sharing and page
+// thrashing in unified (managed) memory.
+//
+// The Manager emulates CUDA unified memory over the GPU simulator: managed
+// buffers are paged; a page resides on exactly one side at a time; touching
+// a page from the other side migrates it (with a simulated cost, the reason
+// unified memory can be up to 10x slower than explicit copies, §1). The
+// analyzer mines the migration history:
+//
+//   - a page that ping-pongs while the host and device touch *disjoint*
+//     cache lines within it exhibits page-level FALSE SHARING — the two
+//     sides never share data, only the page; splitting or padding the
+//     allocations removes every migration;
+//   - a ping-ponging page whose host and device line sets overlap is TRUE
+//     THRASHING — the data really is shared, and batching accesses or
+//     switching to explicit transfers is the fix.
+//
+// Like the core profiler, the manager reports only literal facts of the
+// access stream and attaches actionable suggestions.
+package unified
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"drgpum/internal/gpu"
+)
+
+// Side says where a page currently resides.
+type Side uint8
+
+const (
+	// SideHost means the page's authoritative copy is in CPU memory.
+	SideHost Side = iota
+	// SideDevice means the page lives in GPU memory.
+	SideDevice
+)
+
+// String names the side.
+func (s Side) String() string {
+	if s == SideDevice {
+		return "device"
+	}
+	return "host"
+}
+
+// lineSize is the granularity at which intra-page overlap is judged — a
+// cache line. Two accessors touching different lines of one page share
+// nothing but the page itself.
+const lineSize = 64
+
+// ErrNotManaged is returned for host accesses outside managed buffers.
+var ErrNotManaged = errors.New("unified: address is not in a managed buffer")
+
+// page tracks one page's residency and access history.
+type page struct {
+	side       Side
+	migrations int
+	// overlapMigrations counts migrations whose incoming access touched
+	// cache lines the other side had already touched — migrations caused
+	// by genuinely shared data.
+	overlapMigrations int
+	// hostLines and devLines are bitmasks of touched cache lines
+	// (pageSize/lineSize <= 64 keeps them in one word).
+	hostLines uint64
+	devLines  uint64
+}
+
+// buffer is one managed allocation.
+type buffer struct {
+	base  gpu.DevicePtr
+	size  uint64
+	label string
+	pages []page
+}
+
+// FindingKind classifies a unified-memory finding.
+type FindingKind uint8
+
+const (
+	// FalseSharing: the page migrates repeatedly although host and device
+	// touch disjoint cache lines of it.
+	FalseSharing FindingKind = iota
+	// Thrashing: the page migrates repeatedly and the two sides genuinely
+	// overlap.
+	Thrashing
+)
+
+// String names the kind.
+func (k FindingKind) String() string {
+	if k == Thrashing {
+		return "Page Thrashing"
+	}
+	return "Page-level False Sharing"
+}
+
+// Finding is one problematic unified-memory page.
+type Finding struct {
+	Kind FindingKind
+	// Buffer and Page identify the page (Page is the index within the
+	// buffer).
+	Buffer     string
+	BufferBase gpu.DevicePtr
+	Page       int
+	// Migrations is how many times the page moved.
+	Migrations int
+	// HostLines and DeviceLines are the touched cache-line masks.
+	HostLines   uint64
+	DeviceLines uint64
+	// Suggestion is the optimization guidance.
+	Suggestion string
+}
+
+// Stats aggregates a run's unified-memory traffic.
+type Stats struct {
+	// Migrations counts page moves; MigratedBytes is the traffic volume.
+	Migrations    int
+	MigratedBytes uint64
+	// MigrationCycles is the simulated cost charged for the moves.
+	MigrationCycles uint64
+	// HostAccesses and DeviceAccesses count the observed accesses to
+	// managed memory.
+	HostAccesses   uint64
+	DeviceAccesses uint64
+}
+
+// Manager emulates unified memory over one device. Register it before the
+// monitored activity; device-side visibility requires the device to run at
+// PatchFull (the manager observes kernel accesses through the same
+// instrumentation stream DrGPUM uses).
+type Manager struct {
+	dev      *gpu.Device
+	pageSize uint64
+
+	buffers []*buffer // sorted by base
+	stats   Stats
+
+	// MigrationThreshold is the minimum number of migrations before a page
+	// is reported (default 4).
+	MigrationThreshold int
+}
+
+var _ gpu.Hook = (*Manager)(nil)
+
+// NewManager creates a unified-memory manager with the given page size
+// (must divide into <= 64 cache lines; 0 selects 4096) and registers it on
+// the device.
+func NewManager(dev *gpu.Device, pageSize uint64) *Manager {
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	if pageSize%lineSize != 0 || pageSize/lineSize > 64 {
+		panic(fmt.Sprintf("unified: page size %d not representable (need multiple of %d up to %d)",
+			pageSize, lineSize, 64*lineSize))
+	}
+	m := &Manager{dev: dev, pageSize: pageSize, MigrationThreshold: 4}
+	dev.AddHook(m)
+	return m
+}
+
+// MallocManaged allocates a managed buffer. Pages start host-resident, as
+// cudaMallocManaged pages do before first device touch.
+func (m *Manager) MallocManaged(label string, size uint64) (gpu.DevicePtr, error) {
+	ptr, err := m.dev.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	b := &buffer{
+		base:  ptr,
+		size:  size,
+		label: label,
+		pages: make([]page, (size+m.pageSize-1)/m.pageSize),
+	}
+	i := sort.Search(len(m.buffers), func(i int) bool { return m.buffers[i].base > ptr })
+	m.buffers = append(m.buffers, nil)
+	copy(m.buffers[i+1:], m.buffers[i:])
+	m.buffers[i] = b
+	return ptr, nil
+}
+
+// FreeManaged releases a managed buffer.
+func (m *Manager) FreeManaged(ptr gpu.DevicePtr) error {
+	for i, b := range m.buffers {
+		if b.base == ptr {
+			m.buffers = append(m.buffers[:i], m.buffers[i+1:]...)
+			return m.dev.Free(ptr)
+		}
+	}
+	return fmt.Errorf("%w: 0x%x", ErrNotManaged, uint64(ptr))
+}
+
+// lookup finds the managed buffer containing addr.
+func (m *Manager) lookup(addr gpu.DevicePtr) *buffer {
+	i := sort.Search(len(m.buffers), func(i int) bool { return m.buffers[i].base > addr })
+	if i == 0 {
+		return nil
+	}
+	b := m.buffers[i-1]
+	if addr < b.base+gpu.DevicePtr(b.size) {
+		return b
+	}
+	return nil
+}
+
+// touch updates one page for an access from the given side, migrating it
+// if it resides on the other side.
+func (m *Manager) touch(b *buffer, off uint64, n uint64, from Side) {
+	first := off / m.pageSize
+	last := (off + n - 1) / m.pageSize
+	for pi := first; pi <= last && pi < uint64(len(b.pages)); pi++ {
+		pg := &b.pages[pi]
+
+		// Cache lines this access touches within this page.
+		pageStart := pi * m.pageSize
+		lo := maxU64(off, pageStart)
+		hi := minU64(off+n, pageStart+m.pageSize)
+		var mask uint64
+		for line := (lo - pageStart) / lineSize; line <= (hi-1-pageStart)/lineSize; line++ {
+			mask |= 1 << line
+		}
+
+		if pg.side != from {
+			pg.side = from
+			pg.migrations++
+			// Does the migrating access touch data the other side already
+			// touched? If not, the migration is pure page contention.
+			opposite := pg.hostLines
+			if from == SideHost {
+				opposite = pg.devLines
+			}
+			if mask&opposite != 0 {
+				pg.overlapMigrations++
+			}
+			m.stats.Migrations++
+			m.stats.MigratedBytes += m.pageSize
+			// Cost: a page's worth of copy plus a fault-handling latency.
+			m.stats.MigrationCycles += m.pageSize/30 + 2000
+		}
+		if from == SideHost {
+			pg.hostLines |= mask
+		} else {
+			pg.devLines |= mask
+		}
+	}
+}
+
+// HostWrite performs a CPU store into managed memory.
+func (m *Manager) HostWrite(ptr gpu.DevicePtr, data []byte) error {
+	b := m.lookup(ptr)
+	if b == nil {
+		return fmt.Errorf("%w: 0x%x", ErrNotManaged, uint64(ptr))
+	}
+	m.stats.HostAccesses++
+	m.touch(b, uint64(ptr-b.base), uint64(len(data)), SideHost)
+	return m.dev.Poke(ptr, data)
+}
+
+// HostRead performs a CPU load from managed memory.
+func (m *Manager) HostRead(buf []byte, ptr gpu.DevicePtr) error {
+	b := m.lookup(ptr)
+	if b == nil {
+		return fmt.Errorf("%w: 0x%x", ErrNotManaged, uint64(ptr))
+	}
+	m.stats.HostAccesses++
+	m.touch(b, uint64(ptr-b.base), uint64(len(buf)), SideHost)
+	return m.dev.Peek(ptr, buf)
+}
+
+// OnAPI implements gpu.Hook (unused; device touches arrive per access).
+func (m *Manager) OnAPI(rec *gpu.APIRecord) {}
+
+// OnAccessBatch implements gpu.Hook: kernel accesses inside managed
+// buffers count as device-side touches.
+func (m *Manager) OnAccessBatch(_ *gpu.APIRecord, batch []gpu.MemAccess) {
+	for _, a := range batch {
+		if a.Space != gpu.SpaceGlobal {
+			continue
+		}
+		b := m.lookup(a.Addr)
+		if b == nil {
+			continue
+		}
+		m.stats.DeviceAccesses++
+		m.touch(b, uint64(a.Addr-b.base), uint64(a.Size), SideDevice)
+	}
+}
+
+// Stats returns the traffic counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Detect mines the migration history for false sharing and thrashing.
+// Findings are ordered by migration count, worst first.
+func (m *Manager) Detect() []Finding {
+	var out []Finding
+	for _, b := range m.buffers {
+		out = m.detectBuffer(out, b)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Migrations > out[j].Migrations })
+	return out
+}
+
+// detectBuffer evaluates one buffer's pages.
+func (m *Manager) detectBuffer(out []Finding, b *buffer) []Finding {
+	for pi := range b.pages {
+		pg := &b.pages[pi]
+		if pg.migrations < m.MigrationThreshold {
+			continue
+		}
+		f := Finding{
+			Buffer:      b.label,
+			BufferBase:  b.base,
+			Page:        pi,
+			Migrations:  pg.migrations,
+			HostLines:   pg.hostLines,
+			DeviceLines: pg.devLines,
+		}
+		if float64(pg.overlapMigrations)/float64(pg.migrations) < falseSharingOverlapMax {
+			f.Kind = FalseSharing
+			f.Suggestion = fmt.Sprintf(
+				"Page %d of %s migrated %d times although the host and the device "+
+					"touch disjoint cache lines of it (host mask %#x, device mask %#x). "+
+					"Split the co-located data into separate page-aligned allocations, "+
+					"or pad the host-side fields to a page boundary, to eliminate the "+
+					"migrations entirely.",
+				pi, b.label, pg.migrations, pg.hostLines, pg.devLines)
+		} else {
+			f.Kind = Thrashing
+			f.Suggestion = fmt.Sprintf(
+				"Page %d of %s migrated %d times between host and device accesses "+
+					"to the same data. Batch each side's accesses, prefetch the page "+
+					"before the consuming phase, or switch this buffer to explicit "+
+					"copies.",
+				pi, b.label, pg.migrations)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// falseSharingOverlapMax is the largest fraction of a page's migrations
+// that may be caused by genuinely shared lines while the page still
+// classifies as false sharing. A strictly-zero rule would let a single
+// legitimate host-side result read-back (one overlapping migration against
+// dozens of contention-only ping-pongs) reclassify an obviously
+// false-shared page as true thrashing.
+const falseSharingOverlapMax = 0.25
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,234 @@
+package unified
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"drgpum/internal/gpu"
+)
+
+// fixture builds a device (PatchFull, so kernel accesses are observable)
+// with a manager over 4 KiB pages.
+func fixture() (*gpu.Device, *Manager) {
+	dev := gpu.NewDevice(gpu.SpecTest())
+	m := NewManager(dev, 4096)
+	dev.SetPatchLevel(gpu.PatchFull)
+	return dev, m
+}
+
+// devTouch launches a kernel writing n bytes at ptr.
+func devTouch(dev *gpu.Device, ptr gpu.DevicePtr, n int) {
+	_ = dev.LaunchFunc(nil, "um", gpu.Dim1(1), gpu.Dim1(1), func(ctx *gpu.ExecContext) {
+		for i := 0; i < n; i += 4 {
+			ctx.StoreU32(ptr+gpu.DevicePtr(i), uint32(i))
+		}
+	})
+}
+
+func TestManagedDataRoundtrip(t *testing.T) {
+	dev, m := fixture()
+	buf, err := m.MallocManaged("grid", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HostWrite(buf, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Device doubles the first word.
+	_ = dev.LaunchFunc(nil, "dbl", gpu.Dim1(1), gpu.Dim1(1), func(ctx *gpu.ExecContext) {
+		ctx.StoreU32(buf, ctx.LoadU32(buf)*2)
+	})
+	out := make([]byte, 4)
+	if err := m.HostRead(out, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := uint32(0x04030201) * 2
+	got := uint32(out[0]) | uint32(out[1])<<8 | uint32(out[2])<<16 | uint32(out[3])<<24
+	if got != want {
+		t.Errorf("managed roundtrip = %#x, want %#x", got, want)
+	}
+	if err := m.FreeManaged(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrationAccounting(t *testing.T) {
+	dev, m := fixture()
+	buf, _ := m.MallocManaged("a", 4096)
+
+	// Page starts host-resident: the first host write does not migrate.
+	_ = m.HostWrite(buf, make([]byte, 64))
+	if m.Stats().Migrations != 0 {
+		t.Errorf("host touch of host-resident page migrated: %+v", m.Stats())
+	}
+	// First device touch migrates host->device.
+	devTouch(dev, buf, 64)
+	if st := m.Stats(); st.Migrations != 1 || st.MigratedBytes != 4096 {
+		t.Errorf("stats after device touch = %+v", st)
+	}
+	// Another device touch: no migration.
+	devTouch(dev, buf, 64)
+	if m.Stats().Migrations != 1 {
+		t.Errorf("device touch of device-resident page migrated again")
+	}
+	// Host read migrates back.
+	_ = m.HostRead(make([]byte, 8), buf)
+	if st := m.Stats(); st.Migrations != 2 || st.MigrationCycles == 0 {
+		t.Errorf("stats after host read-back = %+v", st)
+	}
+	if st := m.Stats(); st.HostAccesses != 2 || st.DeviceAccesses < 2 {
+		t.Errorf("access counters = %+v", st)
+	}
+}
+
+func TestFalseSharingDetected(t *testing.T) {
+	dev, m := fixture()
+	// One page holds a host-side counter (first line) and a device-side
+	// buffer (last line): classic page-level false sharing.
+	buf, _ := m.MallocManaged("shared_page", 4096)
+	hostField := buf
+	devField := buf + 4032 // a different cache line
+
+	for i := 0; i < 4; i++ {
+		_ = m.HostWrite(hostField, []byte{byte(i), 0, 0, 0})
+		devTouch(dev, devField, 32)
+	}
+
+	fs := m.Detect()
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v", fs)
+	}
+	f := fs[0]
+	if f.Kind != FalseSharing {
+		t.Fatalf("kind = %v, want FalseSharing", f.Kind)
+	}
+	if f.Migrations < 4 || f.Buffer != "shared_page" || f.Page != 0 {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.HostLines&f.DeviceLines != 0 {
+		t.Errorf("line masks overlap: %#x & %#x", f.HostLines, f.DeviceLines)
+	}
+	if !strings.Contains(f.Suggestion, "page-aligned") && !strings.Contains(f.Suggestion, "pad") {
+		t.Errorf("suggestion = %q", f.Suggestion)
+	}
+}
+
+func TestThrashingDetected(t *testing.T) {
+	dev, m := fixture()
+	buf, _ := m.MallocManaged("pingpong", 4096)
+	// Both sides hammer the same word.
+	for i := 0; i < 4; i++ {
+		_ = m.HostWrite(buf, []byte{1, 2, 3, 4})
+		devTouch(dev, buf, 4)
+	}
+	fs := m.Detect()
+	if len(fs) != 1 || fs[0].Kind != Thrashing {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if !strings.Contains(fs[0].Suggestion, "explicit copies") {
+		t.Errorf("suggestion = %q", fs[0].Suggestion)
+	}
+}
+
+func TestQuietPagesNotReported(t *testing.T) {
+	dev, m := fixture()
+	buf, _ := m.MallocManaged("calm", 8192)
+	// One handoff host -> device: normal usage, below the threshold.
+	_ = m.HostWrite(buf, make([]byte, 4096))
+	devTouch(dev, buf, 4096)
+	if fs := m.Detect(); len(fs) != 0 {
+		t.Errorf("quiet buffer reported: %+v", fs)
+	}
+	// The second page was never device-touched.
+	if st := m.Stats(); st.Migrations != 1 {
+		t.Errorf("migrations = %d", st.Migrations)
+	}
+}
+
+func TestPageGranularity(t *testing.T) {
+	dev, m := fixture()
+	buf, _ := m.MallocManaged("two_pages", 8192)
+	// Host works page 0, device works page 1: different pages, zero
+	// conflict, one initial migration for page 1.
+	for i := 0; i < 5; i++ {
+		_ = m.HostWrite(buf, []byte{1})
+		devTouch(dev, buf+4096, 64)
+	}
+	if fs := m.Detect(); len(fs) != 0 {
+		t.Errorf("page-disjoint usage reported: %+v", fs)
+	}
+	if st := m.Stats(); st.Migrations != 1 {
+		t.Errorf("migrations = %d, want 1 (page 1 host->device once)", st.Migrations)
+	}
+}
+
+func TestErrorsAndValidation(t *testing.T) {
+	dev, m := fixture()
+	if err := m.HostWrite(0x1234, []byte{1}); !errors.Is(err, ErrNotManaged) {
+		t.Errorf("unmanaged write err = %v", err)
+	}
+	if err := m.FreeManaged(0x1234); !errors.Is(err, ErrNotManaged) {
+		t.Errorf("unmanaged free err = %v", err)
+	}
+	// A raw device allocation is not managed.
+	raw, _ := dev.Malloc(256)
+	if err := m.HostWrite(raw, []byte{1}); !errors.Is(err, ErrNotManaged) {
+		t.Errorf("raw-buffer write err = %v", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized page size did not panic")
+		}
+	}()
+	NewManager(dev, 1<<20)
+}
+
+func TestAccessSpanningPages(t *testing.T) {
+	dev, m := fixture()
+	buf, _ := m.MallocManaged("span", 8192)
+	// A host write crossing the page boundary touches both pages.
+	_ = m.HostWrite(buf+4090, make([]byte, 12))
+	devTouch(dev, buf, 4)      // migrates page 0
+	devTouch(dev, buf+4096, 4) // migrates page 1
+	if st := m.Stats(); st.Migrations != 2 {
+		t.Errorf("migrations = %d, want both pages to move", st.Migrations)
+	}
+}
+
+func TestFalseSharingToleratesSmallOverlap(t *testing.T) {
+	dev, m := fixture()
+	buf, _ := m.MallocManaged("mostly_disjoint", 4096)
+	// Ping-pong: host bumps line 0, device fills lines 8..40.
+	for i := 0; i < 8; i++ {
+		_ = m.HostWrite(buf, []byte{byte(i)})
+		devTouch(dev, buf+512, 2048)
+	}
+	// One legitimate host read-back of a sliver of the device's region.
+	_ = m.HostRead(make([]byte, 64), buf+512)
+	fs := m.Detect()
+	if len(fs) != 1 || fs[0].Kind != FalseSharing {
+		t.Fatalf("findings = %+v, want false sharing despite the small overlap", fs)
+	}
+}
+
+// BenchmarkManagedTouch measures the per-access cost of the unified-memory
+// residency tracking (the page-table walk every managed access pays).
+func BenchmarkManagedTouch(b *testing.B) {
+	dev := gpu.NewDevice(gpu.SpecTest())
+	m := NewManager(dev, 4096)
+	dev.SetPatchLevel(gpu.PatchFull)
+	buf, err := m.MallocManaged("bench", 256<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := gpu.DevicePtr((i * 4096) % (256 << 10))
+		if err := m.HostWrite(buf+off, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

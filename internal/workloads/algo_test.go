@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The workloads do real computation; these tests validate the algorithmic
+// kernels directly, independent of the GPU plumbing.
+
+// TestHuffmanCodesPrefixFree checks that the canonical code construction
+// yields a prefix-free code for random histograms — the property that makes
+// the encoded bitstream decodable.
+func TestHuffmanCodesPrefixFree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		counts := make([]uint64, 256)
+		nSyms := rng.Intn(200) + 2
+		for i := 0; i < nSyms; i++ {
+			counts[rng.Intn(256)] = uint64(rng.Intn(10000) + 1)
+		}
+		codes, lengths := buildHuffmanCodes(counts)
+
+		type cw struct {
+			code uint32
+			n    uint8
+		}
+		var used []cw
+		for s := range counts {
+			if counts[s] == 0 {
+				if lengths[s] != 0 {
+					t.Errorf("seed %d: absent symbol %d got a code", seed, s)
+					return false
+				}
+				continue
+			}
+			if lengths[s] == 0 {
+				t.Errorf("seed %d: present symbol %d got no code", seed, s)
+				return false
+			}
+			used = append(used, cw{code: codes[s], n: lengths[s]})
+		}
+		// Prefix-freedom: no codeword is a prefix of another.
+		for i := 0; i < len(used); i++ {
+			for j := 0; j < len(used); j++ {
+				if i == j {
+					continue
+				}
+				a, b := used[i], used[j]
+				if a.n <= b.n && b.code>>(b.n-a.n) == a.code {
+					t.Errorf("seed %d: code %b/%d is a prefix of %b/%d", seed, a.code, a.n, b.code, b.n)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHuffmanKraft checks the Kraft inequality holds with equality for the
+// generated code (a complete prefix code wastes no bit patterns).
+func TestHuffmanKraft(t *testing.T) {
+	counts := make([]uint64, 256)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 64; i++ {
+		counts[rng.Intn(256)] = uint64(rng.Intn(1000) + 1)
+	}
+	_, lengths := buildHuffmanCodes(counts)
+	var kraft float64
+	for _, n := range lengths {
+		if n > 0 {
+			kraft += math.Pow(2, -float64(n))
+		}
+	}
+	if math.Abs(kraft-1) > 1e-9 {
+		t.Errorf("Kraft sum = %v, want exactly 1 for a complete code", kraft)
+	}
+}
+
+// TestLift53PerfectReconstruction checks the 5/3 wavelet's defining
+// property: the inverse lifting steps recover the input exactly.
+func TestLift53PerfectReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]float32, dwtW)
+		for i := range in {
+			in[i] = float32(rng.NormFloat64() * 10)
+		}
+		out := make([]float32, dwtW)
+		lift53Host(in, out)
+
+		// Inverse lifting: undo the update step, then the predict step.
+		half := dwtW / 2
+		rec := make([]float32, dwtW)
+		for i := 0; i < half; i++ {
+			d := out[half+i]
+			dp := d
+			if i > 0 {
+				dp = out[half+i-1]
+			}
+			rec[2*i] = out[i] - (dp+d)/4
+		}
+		for i := 0; i < half; i++ {
+			x0 := rec[2*i]
+			x2 := x0
+			if 2*i+2 < dwtW {
+				x2 = rec[2*i+2]
+			}
+			rec[2*i+1] = out[half+i] + (x0+x2)/2
+		}
+		for i := range in {
+			if math.Abs(float64(rec[i]-in[i])) > 1e-3 {
+				t.Errorf("seed %d: sample %d: %v != %v", seed, i, rec[i], in[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBicgLayoutConsistency checks the skyline packing: offsets are
+// monotone, cover exactly the profile widths, and every in-profile (i, j)
+// maps to a unique packed slot.
+func TestBicgLayoutConsistency(t *testing.T) {
+	offs, total := bicgLayout()
+	if int(offs[bicgN]) != total {
+		t.Fatalf("offs[N] = %d, total = %d", offs[bicgN], total)
+	}
+	for j := 0; j < bicgN; j++ {
+		lo, hi := bicgProfile(j)
+		if lo < 0 || hi >= bicgN || lo > j || hi < j {
+			t.Fatalf("profile(%d) = [%d, %d]", j, lo, hi)
+		}
+		width := hi - lo + 1
+		if int(offs[j+1]-offs[j]) != width {
+			t.Errorf("column %d: packed width %d, profile width %d", j, offs[j+1]-offs[j], width)
+		}
+	}
+}
+
+// TestXSBenchEnergyBand checks the inline RNG stays inside the 5% band and
+// covers essentially all of it (the coverage behind the paper's "5%
+// accessed" figure).
+func TestXSBenchEnergyBand(t *testing.T) {
+	seen := map[int]bool{}
+	for p := 0; p < xsLookups; p++ {
+		e := xsEnergyOf(p)
+		if e < 0 || e >= xsBandLevels {
+			t.Fatalf("particle %d: energy %d outside the band", p, e)
+		}
+		seen[e] = true
+	}
+	if len(seen) < xsBandLevels*95/100 {
+		t.Errorf("only %d of %d band levels hit; coverage should be near-total", len(seen), xsBandLevels)
+	}
+}

@@ -1,0 +1,206 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"drgpum/internal/gpu"
+)
+
+// Darknet: YOLO-style convolutional network inference. The naive variant
+// mirrors Darknet's phase structure: network parsing allocates every
+// layer's weights, output and delta buffers up front; load_weights pushes
+// the weight arrays a second time; the forward pass then runs layer by
+// layer. This reproduces the paper's §7.2 case study:
+//
+//	DW  l.weights_gpu is initialized by cuda_make_array and immediately
+//	    overwritten by push_convolutional_layer (Listing 3)
+//	EA  l.output_gpu is allocated at parse time, first used in forward
+//	UA  l.delta_gpu is training state, never touched during inference
+//	ML  the shared conv workspace is never freed
+//	LD  layer outputs are freed only at exit
+//	RA  output[l] could reuse output[l-2] (ping-pong)
+//	TI  weights idle between the load phase and their layer's forward pass
+//
+// The optimized variant applies the paper's fixes (skip the first weights
+// initialization, drop delta buffers, allocate outputs at first use) plus
+// the free-after-consume schedule the late-deallocation findings suggest,
+// reaching the paper's ~83% peak reduction. The final feature map is
+// verified against a host reference.
+const (
+	darknetLayers    = 8
+	darknetChanElems = 16384 // elements per feature map
+	darknetOutBytes  = darknetChanElems * 4
+	darknetWBytes    = 8 << 10
+	darknetWorkspace = 16 << 10
+	darknetTaps      = darknetWBytes / 4 // weights per layer (1-D conv taps cycled)
+)
+
+func init() {
+	register(&Workload{
+		Name:         "darknet",
+		Domain:       "Deep learning",
+		IntraKernels: []string{"conv_forward"},
+		Run:          runDarknet,
+	})
+}
+
+// darknetWeights builds layer l's deterministic filter taps.
+func darknetWeights(l int) []float32 {
+	rng := xorshift32(uint32(0xda12 + l))
+	w := make([]float32, darknetTaps)
+	for i := range w {
+		w[i] = (rng.nextF32() - 0.5) / 4
+	}
+	return w
+}
+
+// darknetImage builds the input feature map.
+func darknetImage() []float32 {
+	rng := xorshift32(0x1a6e)
+	img := make([]float32, darknetChanElems)
+	for i := range img {
+		img[i] = rng.nextF32()
+	}
+	return img
+}
+
+func runDarknet(dev *gpu.Device, host Host, v Variant) error {
+	r := newRunner(dev, host)
+
+	weights := make([]gpu.DevicePtr, darknetLayers)
+	outputs := make([]gpu.DevicePtr, darknetLayers)
+	deltas := make([]gpu.DevicePtr, darknetLayers)
+	hostW := make([][]float32, darknetLayers)
+
+	// --- parse phase: make_convolutional_layer per layer ---
+	for l := 0; l < darknetLayers; l++ {
+		hostW[l] = darknetWeights(l)
+		weights[l] = r.malloc(fmt.Sprintf("l%d.weights_gpu", l), darknetWBytes, 4)
+		if v == VariantNaive {
+			// cuda_make_array(l.weights, n): allocate AND initialize —
+			// the first half of the Listing 3 dead write.
+			r.h2d(weights[l], f32bytes(hostW[l]), nil)
+			outputs[l] = r.malloc(fmt.Sprintf("l%d.output_gpu", l), darknetOutBytes, 4)
+			deltas[l] = r.malloc(fmt.Sprintf("l%d.delta_gpu", l), darknetOutBytes, 4)
+		}
+		// Optimized: cuda_make_array(0, n) — allocation only (DW fix);
+		// outputs are allocated at first use (EA fix) and deltas not at
+		// all during inference (UA fix).
+	}
+	workspace := r.malloc("workspace", darknetWorkspace, 4)
+
+	// --- load_weights phase: push_convolutional_layer per layer ---
+	for l := 0; l < darknetLayers; l++ {
+		r.h2d(weights[l], f32bytes(hostW[l]), nil)
+	}
+
+	// --- forward pass ---
+	img := darknetImage()
+	dInput := r.malloc("net.input_gpu", darknetOutBytes, 4)
+	r.h2d(dInput, f32bytes(img), nil)
+
+	prev := dInput
+	for l := 0; l < darknetLayers; l++ {
+		if v == VariantOptimized {
+			outputs[l] = r.malloc(fmt.Sprintf("l%d.output_gpu", l), darknetOutBytes, 4)
+		}
+		launchConvForward(r, prev, weights[l], outputs[l], workspace)
+		if v == VariantOptimized {
+			// Free-after-consume: the producer of prev has been read; for
+			// inference nothing later needs it.
+			if l == 0 {
+				r.free(dInput)
+			} else {
+				r.free(outputs[l-1])
+			}
+		}
+		prev = outputs[l]
+	}
+
+	final := make([]byte, darknetOutBytes)
+	r.d2h(final, prev, nil)
+
+	if r.Err() == nil {
+		if err := verifyDarknet(img, hostW, final); err != nil {
+			return fmt.Errorf("darknet: %w", err)
+		}
+	}
+
+	// --- teardown (workspace is leaked in both variants: the paper's ML
+	// finding is a Darknet bug, and fixing it is not part of the Table 4
+	// peak optimization) ---
+	if v == VariantNaive {
+		r.free(dInput)
+		for l := 0; l < darknetLayers; l++ {
+			r.free(outputs[l])
+			r.free(deltas[l])
+		}
+	} else {
+		r.free(outputs[darknetLayers-1])
+	}
+	for l := 0; l < darknetLayers; l++ {
+		r.free(weights[l])
+	}
+	return r.Err()
+}
+
+// launchConvForward applies a 3-tap 1-D convolution plus ReLU, staging
+// partial sums in the shared workspace buffer as Darknet's im2col path
+// does.
+func launchConvForward(r *runner, dIn, dW, dOut, dWS gpu.DevicePtr) {
+	r.launch("conv_forward", nil, gpu.Dim1(darknetChanElems/256), gpu.Dim1(256), func(ctx *gpu.ExecContext) {
+		for i := 0; i < darknetChanElems; i++ {
+			var acc float32
+			for t := -1; t <= 1; t++ {
+				j := i + t
+				if j < 0 || j >= darknetChanElems {
+					continue
+				}
+				w := ctx.LoadF32(dW + gpu.DevicePtr(((i*3+t+1)%darknetTaps)*4))
+				x := ctx.LoadF32(dIn + gpu.DevicePtr(j*4))
+				acc += w * x
+			}
+			ctx.ComputeF32(6)
+			// Stage through the workspace (one slot per lane).
+			slot := dWS + gpu.DevicePtr((i%(darknetWorkspace/4))*4)
+			ctx.StoreF32(slot, acc)
+			acc = ctx.LoadF32(slot)
+			if acc < 0 {
+				acc = 0 // ReLU
+			}
+			ctx.StoreF32(dOut+gpu.DevicePtr(i*4), acc)
+		}
+	})
+}
+
+// verifyDarknet runs the network on the host and compares the final layer.
+func verifyDarknet(img []float32, hostW [][]float32, got []byte) error {
+	cur := append([]float32(nil), img...)
+	next := make([]float32, darknetChanElems)
+	for l := 0; l < darknetLayers; l++ {
+		w := hostW[l]
+		for i := 0; i < darknetChanElems; i++ {
+			var acc float32
+			for t := -1; t <= 1; t++ {
+				j := i + t
+				if j < 0 || j >= darknetChanElems {
+					continue
+				}
+				acc += w[(i*3+t+1)%darknetTaps] * cur[j]
+			}
+			if acc < 0 {
+				acc = 0
+			}
+			next[i] = acc
+		}
+		cur, next = next, cur
+	}
+	for i := 0; i < darknetChanElems; i++ {
+		g := getF32(got[i*4:])
+		if math.Abs(float64(g-cur[i])) > 1e-4 {
+			return fmt.Errorf("output[%d] mismatch: got %g want %g", i, g, cur[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"drgpum/internal/gpu"
+)
+
+// Rodinia/dwt2d: 2D discrete wavelet transform (CDF 5/3 lifting) over three
+// image channels. The naive variant reproduces the benchmark's structure
+// and the paper's Table 1 inefficiencies:
+//
+//	EA  c_r_out/c_g_out/c_b_out are allocated at startup, used much later
+//	LD  everything is freed in a batch at program end
+//	RA  c_g_out could reuse c_r_out (equal size, disjoint live windows)
+//	UA  backup (a reverse-transform staging buffer) is never used
+//	TI  c_g and c_b idle while the R channel is transformed
+//	DW  c_r_out is memset and then fully overwritten by a host copy
+//
+// The optimized variant removes backup, drops the dead initialization,
+// reuses one output buffer across channels, allocates it at first use and
+// frees each input right after its channel is transformed. The transformed
+// R channel is verified against a host reference.
+const (
+	dwtW          = 128
+	dwtH          = 128
+	dwtChanBytes  = dwtW * dwtH * 4
+	dwtBackupSize = 2 * dwtChanBytes
+)
+
+func init() {
+	register(&Workload{
+		Name:         "rodinia/dwt2d",
+		Domain:       "Image/video compression",
+		IntraKernels: []string{"fdwt53_horizontal"},
+		Run:          runDWT2D,
+	})
+}
+
+// dwtChannel synthesizes one deterministic image channel.
+func dwtChannel(seed uint32) []float32 {
+	rng := xorshift32(seed)
+	px := make([]float32, dwtW*dwtH)
+	for y := 0; y < dwtH; y++ {
+		for x := 0; x < dwtW; x++ {
+			// Smooth gradient plus noise: gives the wavelet real structure.
+			px[y*dwtW+x] = float32(x+y)/8 + rng.nextF32()
+		}
+	}
+	return px
+}
+
+func runDWT2D(dev *gpu.Device, host Host, v Variant) error {
+	r := newRunner(dev, host)
+
+	chR := dwtChannel(1)
+	chG := dwtChannel(2)
+	chB := dwtChannel(3)
+
+	var cr, cg, cb, crOut, cgOut, cbOut, backup gpu.DevicePtr
+	if v == VariantNaive {
+		cr = r.malloc("c_r", dwtChanBytes, 4)
+		cg = r.malloc("c_g", dwtChanBytes, 4)
+		cb = r.malloc("c_b", dwtChanBytes, 4)
+		crOut = r.malloc("c_r_out", dwtChanBytes, 4)
+		cgOut = r.malloc("c_g_out", dwtChanBytes, 4)
+		cbOut = r.malloc("c_b_out", dwtChanBytes, 4)
+		backup = r.malloc("backup", dwtBackupSize, 4) // never used
+	} else {
+		cr = r.malloc("c_r", dwtChanBytes, 4)
+		cg = r.malloc("c_g", dwtChanBytes, 4)
+		cb = r.malloc("c_b", dwtChanBytes, 4)
+	}
+	_ = backup
+
+	// All inputs staged up front (this is what makes G and B idle during
+	// the R transform).
+	r.h2d(cr, f32bytes(chR), nil)
+	r.h2d(cg, f32bytes(chG), nil)
+	r.h2d(cb, f32bytes(chB), nil)
+
+	if v == VariantNaive {
+		// Dead write: zero-initialize the output, then overwrite it whole.
+		r.memset(crOut, 0, dwtChanBytes, nil)
+		zeros := make([]byte, dwtChanBytes)
+		r.h2d(crOut, zeros, nil)
+	}
+
+	outR := make([]byte, dwtChanBytes)
+	process := func(in, out gpu.DevicePtr, result []byte) {
+		launchFDWTHorizontal(r, in, out)
+		launchFDWTVertical(r, out)
+		if result != nil {
+			r.d2h(result, out, nil)
+		} else {
+			sink := make([]byte, dwtChanBytes)
+			r.d2h(sink, out, nil)
+		}
+	}
+
+	if v == VariantNaive {
+		process(cr, crOut, outR)
+		process(cg, cgOut, nil)
+		process(cb, cbOut, nil)
+	} else {
+		// Fix (EA/RA): one output buffer, allocated at first use, reused
+		// for every channel.
+		out := r.malloc("c_out", dwtChanBytes, 4)
+		process(cr, out, outR)
+		r.free(cr) // fix (LD/TI): inputs die right after their transform
+		process(cg, out, nil)
+		r.free(cg)
+		process(cb, out, nil)
+		r.free(cb)
+		r.free(out)
+	}
+
+	if r.Err() == nil {
+		if err := verifyDWT(chR, outR); err != nil {
+			return fmt.Errorf("dwt2d: %w", err)
+		}
+	}
+
+	if v == VariantNaive {
+		r.free(cr)
+		r.free(cg)
+		r.free(cb)
+		r.free(crOut)
+		r.free(cgOut)
+		r.free(cbOut)
+		r.free(backup)
+	}
+	return r.Err()
+}
+
+// launchFDWTHorizontal runs the 5/3 lifting forward transform along rows,
+// reading in and writing the deinterleaved (low|high) result to out.
+func launchFDWTHorizontal(r *runner, in, out gpu.DevicePtr) {
+	r.launch("fdwt53_horizontal", nil, gpu.Dim1(dwtH), gpu.Dim1(dwtW/2), func(ctx *gpu.ExecContext) {
+		for y := 0; y < dwtH; y++ {
+			row := gpu.DevicePtr(y * dwtW * 4)
+			lift53Device(ctx, in+row, out+row, 4)
+		}
+	})
+}
+
+// launchFDWTVertical runs the transform along columns of buf, in place.
+func launchFDWTVertical(r *runner, buf gpu.DevicePtr) {
+	r.launch("fdwt53_vertical", nil, gpu.Dim1(dwtW), gpu.Dim1(dwtH/2), func(ctx *gpu.ExecContext) {
+		for x := 0; x < dwtW; x++ {
+			col := buf + gpu.DevicePtr(x*4)
+			// Columns stride by one row of floats.
+			tmpOff := ctx.SharedAlloc(dwtH * 4)
+			// Stage the column in shared memory, transform, write back —
+			// the Rodinia kernel's shared-memory column pass.
+			for i := 0; i < dwtH; i++ {
+				ctx.SharedStoreF32(tmpOff+i*4, ctx.LoadF32(col+gpu.DevicePtr(i*dwtW*4)))
+			}
+			half := dwtH / 2
+			for i := 0; i < half; i++ {
+				x0 := ctx.SharedLoadF32(tmpOff + 2*i*4)
+				x1 := ctx.SharedLoadF32(tmpOff + (2*i+1)*4)
+				x2 := x0
+				if 2*i+2 < dwtH {
+					x2 = ctx.SharedLoadF32(tmpOff + (2*i+2)*4)
+				}
+				ctx.ComputeF32(2)
+				d := x1 - (x0+x2)/2
+				ctx.SharedStoreF32(tmpOff+(2*i+1)*4, d)
+			}
+			for i := 0; i < half; i++ {
+				dm := ctx.SharedLoadF32(tmpOff + (2*i+1)*4)
+				dp := dm
+				if i > 0 {
+					dp = ctx.SharedLoadF32(tmpOff + (2*i-1)*4)
+				}
+				x0 := ctx.SharedLoadF32(tmpOff + 2*i*4)
+				ctx.ComputeF32(2)
+				ctx.StoreF32(col+gpu.DevicePtr(i*dwtW*4), x0+(dp+dm)/4)
+				ctx.StoreF32(col+gpu.DevicePtr((i+half)*dwtW*4), dm)
+			}
+		}
+	})
+}
+
+// lift53Device applies the 5/3 lifting steps to one row of dwtW samples,
+// writing lows to the first half and highs to the second half of out.
+// stride is the byte distance between consecutive samples.
+func lift53Device(ctx *gpu.ExecContext, in, out gpu.DevicePtr, stride int) {
+	n := dwtW
+	half := n / 2
+	// Predict step: high coefficients.
+	for i := 0; i < half; i++ {
+		x0 := ctx.LoadF32(in + gpu.DevicePtr(2*i*stride))
+		x1 := ctx.LoadF32(in + gpu.DevicePtr((2*i+1)*stride))
+		x2 := x0
+		if 2*i+2 < n {
+			x2 = ctx.LoadF32(in + gpu.DevicePtr((2*i+2)*stride))
+		}
+		ctx.ComputeF32(2)
+		ctx.StoreF32(out+gpu.DevicePtr((half+i)*stride), x1-(x0+x2)/2)
+	}
+	// Update step: low coefficients.
+	for i := 0; i < half; i++ {
+		d := ctx.LoadF32(out + gpu.DevicePtr((half+i)*stride))
+		dp := d
+		if i > 0 {
+			dp = ctx.LoadF32(out + gpu.DevicePtr((half+i-1)*stride))
+		}
+		x0 := ctx.LoadF32(in + gpu.DevicePtr(2*i*stride))
+		ctx.ComputeF32(2)
+		ctx.StoreF32(out+gpu.DevicePtr(i*stride), x0+(dp+d)/4)
+	}
+}
+
+// verifyDWT checks the device result for the R channel against a host
+// reference implementation of the same two-pass transform.
+func verifyDWT(src []float32, got []byte) error {
+	ref := hostDWT2D(src)
+	for i, want := range ref {
+		g := getF32(got[i*4:])
+		if math.Abs(float64(g-want)) > 1e-3 {
+			return fmt.Errorf("coefficient %d mismatch: got %g want %g", i, g, want)
+		}
+	}
+	return nil
+}
+
+// hostDWT2D mirrors the device transform on the host.
+func hostDWT2D(src []float32) []float32 {
+	buf := make([]float32, len(src))
+	// Horizontal pass.
+	for y := 0; y < dwtH; y++ {
+		row := src[y*dwtW : (y+1)*dwtW]
+		out := buf[y*dwtW : (y+1)*dwtW]
+		lift53Host(row, out)
+	}
+	// Vertical pass, in place on buf.
+	col := make([]float32, dwtH)
+	res := make([]float32, dwtH)
+	for x := 0; x < dwtW; x++ {
+		for i := 0; i < dwtH; i++ {
+			col[i] = buf[i*dwtW+x]
+		}
+		lift53Host(col, res)
+		for i := 0; i < dwtH; i++ {
+			buf[i*dwtW+x] = res[i]
+		}
+	}
+	return buf
+}
+
+// lift53Host is the host reference for one 1-D lifting pass.
+func lift53Host(in, out []float32) {
+	n := len(in)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		x0 := in[2*i]
+		x1 := in[2*i+1]
+		x2 := x0
+		if 2*i+2 < n {
+			x2 = in[2*i+2]
+		}
+		out[half+i] = x1 - (x0+x2)/2
+	}
+	for i := 0; i < half; i++ {
+		d := out[half+i]
+		dp := d
+		if i > 0 {
+			dp = out[half+i-1]
+		}
+		out[i] = in[2*i] + (dp+d)/4
+	}
+}

@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Little-endian scalar encoding helpers shared by the workloads' host-side
+// buffers; the layout matches the device ExecContext accessors.
+
+func putF32(b []byte, v float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(v)) }
+
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+func getF32(b []byte) float32 { return math.Float32frombits(binary.LittleEndian.Uint32(b)) }
+
+func getF64(b []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+func getU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+
+// xorshift32 is a tiny deterministic PRNG for synthetic inputs; workloads
+// must not depend on math/rand seeding behaviour across Go versions.
+type xorshift32 uint32
+
+func (x *xorshift32) next() uint32 {
+	v := uint32(*x)
+	if v == 0 {
+		v = 0x9e3779b9
+	}
+	v ^= v << 13
+	v ^= v >> 17
+	v ^= v << 5
+	*x = xorshift32(v)
+	return v
+}
+
+// nextF32 returns a float in [0, 1).
+func (x *xorshift32) nextF32() float32 {
+	return float32(x.next()>>8) / float32(1<<24)
+}
+
+// nextF64 returns a float in [0, 1).
+func (x *xorshift32) nextF64() float64 {
+	return float64(x.next()>>8) / float64(1<<24)
+}

@@ -1,0 +1,336 @@
+package workloads
+
+import (
+	"container/heap"
+	"fmt"
+
+	"drgpum/internal/gpu"
+)
+
+// Rodinia/huffman: GPU Huffman encoding. The naive variant mirrors the
+// benchmark's structure — every buffer allocated eagerly up front and freed
+// in a batch at the end — and carries the paper's Table 1 inefficiencies:
+//
+//	EA  d_codewords and d_encoded are allocated long before first use
+//	LD  d_sourceData stays allocated long after the encode kernel
+//	RA  d_tmp2 could reuse d_tmp1 (equal-size scratch, disjoint lifetimes)
+//	UA  d_cw32 (a worst-case 32-bit-codeword staging buffer) is never used
+//	TI  d_sourceData idles between the histogram and encode kernels
+//
+// The optimized variant applies the paper's fixes: drop d_cw32, allocate
+// buffers at first use, reuse the scratch buffer, and free d_sourceData
+// right after its last access. Both variants verify the encoded bitstream
+// against a host-side reference encoder.
+const (
+	huffSourceBytes = 128 << 10
+	huffSymbols     = 256
+	huffTmpBytes    = 32 << 10
+	huffEncBytes    = 160 << 10 // encode output (bit-packed; sized for the worst case)
+	huffChunk       = 16        // symbols per per-chunk cursor slot in d_tmp
+	huffCW32Bytes   = 5 * huffSourceBytes
+)
+
+func init() {
+	register(&Workload{
+		Name:         "rodinia/huffman",
+		Domain:       "Lossless compression",
+		IntraKernels: []string{"huffman_encode"},
+		Run:          runHuffman,
+	})
+}
+
+// huffmanInput generates the deterministic source stream.
+func huffmanInput() []byte {
+	src := make([]byte, huffSourceBytes)
+	rng := xorshift32(0x5eed)
+	for i := range src {
+		src[i] = byte(rng.next())
+	}
+	return src
+}
+
+func runHuffman(dev *gpu.Device, host Host, v Variant) error {
+	r := newRunner(dev, host)
+	source := huffmanInput()
+
+	var (
+		dSource, dHist, dCW, dCW32 gpu.DevicePtr
+		dTmp1, dTmp2, dEnc         gpu.DevicePtr
+	)
+
+	if v == VariantNaive {
+		// Eager batch allocation at program start.
+		dSource = r.malloc("d_sourceData", huffSourceBytes, 1)
+		dHist = r.malloc("d_histogram", huffSymbols*4, 4)
+		dCW = r.malloc("d_codewords", huffSymbols*4, 4)
+		dCW32 = r.malloc("d_cw32", huffCW32Bytes, 4) // never used
+		dTmp1 = r.malloc("d_tmp1", huffTmpBytes, 4)
+		dTmp2 = r.malloc("d_tmp2", huffTmpBytes, 4)
+		dEnc = r.malloc("d_encodedData", huffEncBytes, 4)
+	} else {
+		dSource = r.malloc("d_sourceData", huffSourceBytes, 1)
+		dHist = r.malloc("d_histogram", huffSymbols*4, 4)
+	}
+	_ = dCW32
+
+	r.h2d(dSource, source, nil)
+	r.memset(dHist, 0, huffSymbols*4, nil)
+
+	if v == VariantOptimized {
+		dTmp1 = r.malloc("d_tmp1", huffTmpBytes, 4)
+	}
+	launchHistogram(r, dSource, dHist, dTmp1)
+
+	hist := make([]byte, huffSymbols*4)
+	r.d2h(hist, dHist, nil)
+
+	// Host side: canonical Huffman code construction from the histogram.
+	counts := make([]uint64, huffSymbols)
+	for i := range counts {
+		counts[i] = uint64(getU32(hist[i*4:]))
+	}
+	codes, lengths := buildHuffmanCodes(counts)
+
+	packed := make([]uint32, huffSymbols)
+	for s := 0; s < huffSymbols; s++ {
+		packed[s] = codes[s] | uint32(lengths[s])<<24
+	}
+	// Guard: the deterministic input must fit the output buffer; a grown
+	// bitstream would otherwise fault past d_encodedData.
+	var totalBits uint64
+	for s := 0; s < huffSymbols; s++ {
+		totalBits += counts[s] * uint64(lengths[s])
+	}
+	if (totalBits+31)/32*4 > huffEncBytes {
+		return fmt.Errorf("huffman: encoded stream (%d bits) exceeds %d-byte buffer", totalBits, huffEncBytes)
+	}
+
+	if v == VariantOptimized {
+		dCW = r.malloc("d_codewords", huffSymbols*4, 4)
+	}
+	r.h2d(dCW, u32bytes(packed), nil)
+
+	if v == VariantOptimized {
+		// Fix (RA): reuse d_tmp1 instead of a second scratch buffer.
+		dTmp2 = dTmp1
+		// Fix (EA): allocate the output right before the encode kernel.
+		dEnc = r.malloc("d_encodedData", huffEncBytes, 4)
+	}
+	r.memset(dEnc, 0, huffEncBytes, nil)
+	r.memset(dTmp2, 0, huffTmpBytes, nil)
+	launchEncode(r, dSource, dCW, dEnc, dTmp2)
+
+	if v == VariantOptimized {
+		// Fix (LD/TI): d_sourceData's last access is the encode kernel.
+		r.free(dSource)
+	}
+
+	enc := make([]byte, huffEncBytes)
+	r.d2h(enc, dEnc, nil)
+
+	if r.Err() == nil {
+		if err := verifyHuffman(source, packed, enc); err != nil {
+			return fmt.Errorf("huffman: %w", err)
+		}
+	}
+
+	// Batch deallocation at program end (the naive late-free pattern).
+	if v == VariantNaive {
+		r.free(dSource)
+		r.free(dTmp2)
+		r.free(dCW32)
+	}
+	r.free(dHist)
+	r.free(dCW)
+	r.free(dTmp1)
+	r.free(dEnc)
+	return r.Err()
+}
+
+// launchHistogram counts symbol occurrences on the device. d_tmp holds
+// per-block partial counts, mirroring the Rodinia kernel's staging.
+func launchHistogram(r *runner, dSource, dHist, dTmp gpu.DevicePtr) {
+	r.launch("histogram256", nil, gpu.Dim1(64), gpu.Dim1(256), func(ctx *gpu.ExecContext) {
+		// Partial counts in the scratch buffer (one lane per symbol).
+		for s := 0; s < huffSymbols; s++ {
+			ctx.StoreU32(dTmp+gpu.DevicePtr(s*4), 0)
+		}
+		for i := 0; i < huffSourceBytes; i++ {
+			sym := ctx.LoadU8(dSource + gpu.DevicePtr(i))
+			addr := dTmp + gpu.DevicePtr(int(sym)*4)
+			ctx.StoreU32(addr, ctx.LoadU32(addr)+1)
+			ctx.Compute(1)
+		}
+		// Merge partials into the histogram.
+		for s := 0; s < huffSymbols; s++ {
+			v := ctx.LoadU32(dTmp + gpu.DevicePtr(s*4))
+			addr := dHist + gpu.DevicePtr(s*4)
+			ctx.StoreU32(addr, ctx.LoadU32(addr)+v)
+		}
+	})
+}
+
+// launchEncode bit-packs the source through the codeword table. d_tmp
+// stages per-block bit offsets as the Rodinia kernel does.
+func launchEncode(r *runner, dSource, dCW, dEnc, dTmp gpu.DevicePtr) {
+	r.launch("huffman_encode", nil, gpu.Dim1(64), gpu.Dim1(256), func(ctx *gpu.ExecContext) {
+		var word uint32
+		var bits, wordIdx int
+		flush := func() {
+			ctx.StoreU32(dEnc+gpu.DevicePtr(wordIdx*4), word)
+			wordIdx++
+			word, bits = 0, 0
+		}
+		var totalBits uint32
+		for i := 0; i < huffSourceBytes; i++ {
+			sym := ctx.LoadU8(dSource + gpu.DevicePtr(i))
+			cw := ctx.LoadU32(dCW + gpu.DevicePtr(int(sym)*4))
+			code, n := cw&0xffffff, int(cw>>24)
+			ctx.Compute(1)
+			for b := n - 1; b >= 0; b-- {
+				word |= ((code >> uint(b)) & 1) << uint(bits)
+				bits++
+				if bits == 32 {
+					flush()
+				}
+			}
+			totalBits += uint32(n)
+			// The per-chunk bit cursors that the Rodinia kernel publishes
+			// for the parallel decoder.
+			if (i+1)%huffChunk == 0 {
+				ctx.StoreU32(dTmp+gpu.DevicePtr(i/huffChunk*4), totalBits)
+			}
+		}
+		if bits > 0 {
+			flush()
+		}
+	})
+}
+
+// verifyHuffman re-encodes on the host and compares the leading words.
+func verifyHuffman(source []byte, packed []uint32, enc []byte) error {
+	var word uint32
+	var bits, wordIdx int
+	check := func() error {
+		got := getU32(enc[wordIdx*4:])
+		if got != word {
+			return fmt.Errorf("encoded word %d mismatch: got %#x want %#x", wordIdx, got, word)
+		}
+		wordIdx++
+		word, bits = 0, 0
+		return nil
+	}
+	for _, sym := range source {
+		cw := packed[sym]
+		code, n := cw&0xffffff, int(cw>>24)
+		for b := n - 1; b >= 0; b-- {
+			word |= ((code >> uint(b)) & 1) << uint(bits)
+			bits++
+			if bits == 32 {
+				if err := check(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if bits > 0 {
+		return check()
+	}
+	return nil
+}
+
+// --- host-side canonical Huffman construction ---
+
+type huffNode struct {
+	count       uint64
+	sym         int // -1 for internal nodes
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h huffHeap) Swap(i, j int)        { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x any)          { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any            { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+func (h huffHeap) root() *huffNode      { return h[0] }
+func newHuffHeap(n int) huffHeap        { return make(huffHeap, 0, n) }
+func pushNode(h *huffHeap, n *huffNode) { heap.Push(h, n) }
+
+// buildHuffmanCodes produces canonical codes (per symbol: code value and
+// bit length, length 0 for absent symbols).
+func buildHuffmanCodes(counts []uint64) (codes []uint32, lengths []uint8) {
+	codes = make([]uint32, len(counts))
+	lengths = make([]uint8, len(counts))
+
+	h := newHuffHeap(len(counts))
+	heap.Init(&h)
+	for s, c := range counts {
+		if c > 0 {
+			pushNode(&h, &huffNode{count: c, sym: s})
+		}
+	}
+	switch h.Len() {
+	case 0:
+		return codes, lengths
+	case 1:
+		lengths[h.root().sym] = 1
+		return codes, lengths
+	}
+	internal := len(counts)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		pushNode(&h, &huffNode{count: a.count + b.count, sym: internal, left: a, right: b})
+		internal++
+	}
+
+	// Depth-first traversal assigns bit lengths.
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.left == nil {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(h.root(), 0)
+
+	// Canonicalize: sort by (length, symbol), assign ascending codes.
+	type ls struct {
+		sym int
+		n   uint8
+	}
+	var order []ls
+	for s, n := range lengths {
+		if n > 0 {
+			order = append(order, ls{sym: s, n: n})
+		}
+	}
+	// Insertion sort keeps this dependency-free and deterministic.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if a.n < b.n || (a.n == b.n && a.sym < b.sym) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	var code uint32
+	var prev uint8
+	for _, e := range order {
+		code <<= uint(e.n - prev)
+		prev = e.n
+		codes[e.sym] = code
+		code++
+	}
+	return codes, lengths
+}

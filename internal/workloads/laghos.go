@@ -1,0 +1,251 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"drgpum/internal/gpu"
+)
+
+// Laghos: high-order Lagrangian hydrodynamics (compressible gas dynamics).
+// The simulation alternates UpdateQuadratureData / force / energy kernels
+// over a few time steps, then runs a post-loop time-step-estimation phase.
+// Member buffers of the QUpdate class are allocated when the object is
+// constructed and released only when the program exits — the structure
+// behind the paper's Listing 1 case study.
+//
+// Patterns (Table 1): EA, LD, RA, UA, TI, DW.
+//
+//	EA  everything is allocated in the setup phase
+//	LD  q_dx/q_dy are last accessed by the final UpdateQuadratureData but
+//	    survive through the whole post-loop phase (the Listing 1 bug)
+//	RA  the post-phase scratch could reuse the loop-phase scratch
+//	UA  h1_tmp (a Helmholtz work buffer) is never touched
+//	TI  ess_tdofs is staged at setup and only read after the loop
+//	DW  forces is zero-filled twice (memset, then a host copy of zeros)
+//
+// The optimized variant frees q_dx/q_dy right after their last use (the
+// paper's 2+2 SLOC fix, ~35% peak reduction), removes h1_tmp, reuses the
+// scratch buffer, and drops the dead initialization. Final energies are
+// verified against a host reference.
+const (
+	laghosZones   = 2048
+	laghosQuads   = laghosZones * 9 // quadrature points (for sizing q_dx/q_dy)
+	laghosSteps   = 4
+	laghosMesh    = laghosZones * 16 // 32 KiB
+	laghosVel     = laghosZones * 16 // 32 KiB
+	laghosEnergy  = laghosZones * 8  // 16 KiB
+	laghosQD      = laghosQuads * 4  // 72 KiB each for q_dx, q_dy
+	laghosEQuads  = laghosZones * 12 // 24 KiB
+	laghosForces  = laghosZones * 12 // 24 KiB
+	laghosScratch = laghosZones * 8  // 16 KiB
+	laghosEss     = laghosZones * 4  // 8 KiB
+	laghosH1Tmp   = 16 << 10         // 16 KiB, never used
+	laghosODE     = 2 * laghosQD     // post-loop ODE solver state
+)
+
+func init() {
+	register(&Workload{
+		Name:         "laghos",
+		Domain:       "LAGrangian solver",
+		IntraKernels: []string{"UpdateQuadratureData"},
+		Run:          runLaghos,
+	})
+}
+
+func runLaghos(dev *gpu.Device, host Host, v Variant) error {
+	r := newRunner(dev, host)
+
+	// --- setup phase: the QUpdate constructor allocates its members ---
+	dMesh := r.malloc("mesh_nodes", laghosMesh, 8)
+	dVel := r.malloc("velocity", laghosVel, 8)
+	dEnergy := r.malloc("energy", laghosEnergy, 8)
+	dQdx := r.malloc("q_dx", laghosQD, 4)
+	dQdy := r.malloc("q_dy", laghosQD, 4)
+	dEQ := r.malloc("e_quads", laghosEQuads, 4)
+	dForces := r.malloc("forces", laghosForces, 4)
+	dScr1 := r.malloc("rhs_scratch", laghosScratch, 8)
+	dEss := r.malloc("ess_tdofs", laghosEss, 4)
+	var dH1 gpu.DevicePtr
+	if v == VariantNaive {
+		dH1 = r.malloc("h1_tmp", laghosH1Tmp, 4) // never used
+	}
+
+	mesh := laghosField(1, laghosMesh/8)
+	vel := laghosField(2, laghosVel/8)
+	energy0 := laghosField(3, laghosEnergy/8)
+	ess := make([]uint32, laghosEss/4)
+	for i := range ess {
+		ess[i] = uint32(i % laghosZones)
+	}
+
+	r.h2d(dMesh, f64bytes(mesh), nil)
+	r.h2d(dVel, f64bytes(vel), nil)
+	r.h2d(dEnergy, f64bytes(energy0), nil)
+	r.h2d(dEss, u32bytes(ess), nil)
+
+	if v == VariantNaive {
+		// Dead write: forces is zeroed twice before its first real use.
+		r.memset(dForces, 0, laghosForces, nil)
+		r.h2d(dForces, make([]byte, laghosForces), nil)
+	} else {
+		r.memset(dForces, 0, laghosForces, nil)
+	}
+	r.memset(dQdx, 0, laghosQD, nil)
+	r.memset(dQdy, 0, laghosQD, nil)
+
+	// --- time-step loop ---
+	for step := 0; step < laghosSteps; step++ {
+		launchUpdateQuadratureData(r, dMesh, dVel, dEnergy, dQdx, dQdy, dEQ)
+		launchForceMult(r, dEQ, dMesh, dForces, dScr1)
+		launchEnergySolve(r, dForces, dEnergy)
+	}
+
+	if v == VariantOptimized {
+		// The paper's Listing 1 fix: q_dx/q_dy are last accessed by the
+		// final UpdateQuadratureData; release them before the post phase.
+		r.free(dQdx)
+		r.free(dQdy)
+	}
+
+	// --- post-loop phase: time-step estimation over the ODE state ---
+	dODE := r.malloc("ode_solver_buf", laghosODE, 8)
+	var dScr2 gpu.DevicePtr
+	if v == VariantNaive {
+		dScr2 = r.malloc("post_scratch", laghosScratch, 8)
+	} else {
+		dScr2 = dScr1 // fix (RA): reuse the loop-phase scratch
+	}
+	launchTimeStepEstimate(r, dVel, dMesh, dEss, dODE, dScr2)
+
+	eOut := make([]byte, laghosEnergy)
+	r.d2h(eOut, dEnergy, nil)
+
+	if r.Err() == nil {
+		if err := verifyLaghos(mesh, vel, energy0, eOut); err != nil {
+			return fmt.Errorf("laghos: %w", err)
+		}
+	}
+
+	// --- teardown: everything released at program exit ---
+	if v == VariantNaive {
+		r.free(dQdx)
+		r.free(dQdy)
+		r.free(dH1)
+		r.free(dScr2)
+	}
+	r.free(dMesh)
+	r.free(dVel)
+	r.free(dEnergy)
+	r.free(dEQ)
+	r.free(dForces)
+	r.free(dScr1)
+	r.free(dEss)
+	r.free(dODE)
+	return r.Err()
+}
+
+// laghosField builds a deterministic field.
+func laghosField(seed uint32, n int) []float64 {
+	rng := xorshift32(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.nextF64() + 0.5
+	}
+	return out
+}
+
+// launchUpdateQuadratureData evaluates velocity gradients at quadrature
+// points: the kernel of the paper's Listing 1. It reads and rewrites
+// q_dx/q_dy each step (its own previous values feed the artificial
+// viscosity term), so the final step really is their last access.
+func launchUpdateQuadratureData(r *runner, dMesh, dVel, dEnergy, dQdx, dQdy, dEQ gpu.DevicePtr) {
+	r.launch("UpdateQuadratureData", nil, gpu.Dim1(laghosZones/64), gpu.Dim1(64), func(ctx *gpu.ExecContext) {
+		for z := 0; z < laghosZones; z++ {
+			x := ctx.LoadF64(dMesh + gpu.DevicePtr(z*16))
+			xw := ctx.LoadF64(dMesh + gpu.DevicePtr(z*16+8))
+			vz := ctx.LoadF64(dVel + gpu.DevicePtr(z*16))
+			vw := ctx.LoadF64(dVel + gpu.DevicePtr(z*16+8))
+			e := ctx.LoadF64(dEnergy + gpu.DevicePtr(z*8))
+			ctx.ComputeF64(8)
+			grad := float32(vz*x*0.25 + e*0.125 + vw*xw*0.0625)
+			for q := 0; q < 9; q++ { // all quadrature points of the zone
+				qa := dQdx + gpu.DevicePtr((z*9+q)*4)
+				qb := dQdy + gpu.DevicePtr((z*9+q)*4)
+				ctx.StoreF32(qa, 0.5*ctx.LoadF32(qa)+grad)
+				ctx.StoreF32(qb, 0.5*ctx.LoadF32(qb)-grad)
+			}
+			ctx.StoreF32(dEQ+gpu.DevicePtr(z*12), grad*grad)
+			ctx.StoreF32(dEQ+gpu.DevicePtr(z*12+4), grad)
+			ctx.StoreF32(dEQ+gpu.DevicePtr(z*12+8), float32(e)) // pressure slot
+		}
+	})
+}
+
+// launchForceMult applies the force operator.
+func launchForceMult(r *runner, dEQ, dMesh, dForces, dScr gpu.DevicePtr) {
+	r.launch("ForceMult", nil, gpu.Dim1(laghosZones/64), gpu.Dim1(64), func(ctx *gpu.ExecContext) {
+		for z := 0; z < laghosZones; z++ {
+			eq := ctx.LoadF32(dEQ + gpu.DevicePtr(z*12))
+			x := ctx.LoadF64(dMesh + gpu.DevicePtr(z*16))
+			ctx.ComputeF64(4)
+			f := float64(eq) * x * 0.5
+			ctx.StoreF64(dScr+gpu.DevicePtr(z*8), f)
+			ctx.StoreF32(dForces+gpu.DevicePtr(z*12), float32(f))
+		}
+	})
+}
+
+// launchEnergySolve integrates the energy equation.
+func launchEnergySolve(r *runner, dForces, dEnergy gpu.DevicePtr) {
+	r.launch("EnergySolve", nil, gpu.Dim1(laghosZones/64), gpu.Dim1(64), func(ctx *gpu.ExecContext) {
+		for z := 0; z < laghosZones; z++ {
+			f := ctx.LoadF32(dForces + gpu.DevicePtr(z*12))
+			addr := dEnergy + gpu.DevicePtr(z*8)
+			ctx.ComputeF64(2)
+			ctx.StoreF64(addr, ctx.LoadF64(addr)+float64(f)*1e-3)
+		}
+	})
+}
+
+// launchTimeStepEstimate computes the CFL time step over the ODE state.
+func launchTimeStepEstimate(r *runner, dVel, dMesh, dEss, dODE, dScr gpu.DevicePtr) {
+	r.launch("TimeStepEstimate", nil, gpu.Dim1(laghosZones/64), gpu.Dim1(64), func(ctx *gpu.ExecContext) {
+		for z := 0; z < laghosZones; z++ {
+			idx := int(ctx.LoadU32(dEss + gpu.DevicePtr(z*4)))
+			vz := ctx.LoadF64(dVel + gpu.DevicePtr(idx*16))
+			x := ctx.LoadF64(dMesh + gpu.DevicePtr(idx*16))
+			ctx.ComputeF64(3)
+			dt := x / (math.Abs(vz) + 1e-9)
+			ctx.StoreF64(dODE+gpu.DevicePtr(z*8), dt)
+			ctx.StoreF64(dScr+gpu.DevicePtr(z*8), dt*0.5)
+		}
+	})
+}
+
+// verifyLaghos recomputes the energy integration on the host.
+func verifyLaghos(mesh, vel, energy0 []float64, got []byte) error {
+	qdx := make([]float32, laghosQuads)
+	energy := append([]float64(nil), energy0...)
+	for step := 0; step < laghosSteps; step++ {
+		forces := make([]float32, laghosZones)
+		for z := 0; z < laghosZones; z++ {
+			grad := float32(vel[2*z]*mesh[2*z]*0.25 + energy[z]*0.125 + vel[2*z+1]*mesh[2*z+1]*0.0625)
+			for q := 0; q < 9; q++ {
+				qdx[z*9+q] = 0.5*qdx[z*9+q] + grad
+			}
+			eq := grad * grad
+			forces[z] = float32(float64(eq) * mesh[2*z] * 0.5)
+		}
+		for z := 0; z < laghosZones; z++ {
+			energy[z] += float64(forces[z]) * 1e-3
+		}
+	}
+	for z := 0; z < laghosZones; z++ {
+		g := getF64(got[z*8:])
+		if math.Abs(g-energy[z]) > 1e-9*math.Max(1, math.Abs(energy[z])) {
+			return fmt.Errorf("energy[%d] mismatch: got %g want %g", z, g, energy[z])
+		}
+	}
+	return nil
+}

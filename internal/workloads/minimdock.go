@@ -1,0 +1,208 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"drgpum/internal/gpu"
+)
+
+// MiniMDock: particle-grid protein-ligand molecular docking (the AutoDock
+// mini-app). The host code sizes pMem_conformations for the compile-time
+// maxima MAX_POPSIZE x MAX_NUM_OF_RUNS, regardless of the run's actual
+// population — the paper's §1.2/§7.6 overallocation case study: only
+// 2.4e-3% of the buffer's elements are ever accessed and they sit
+// contiguously at the front (fragmentation ~0), making the fix trivial
+// (allocate the input-derived size; 64% peak reduction, upstreamed as
+// miniMDock PR 2).
+//
+// Patterns (Table 1): EA, LD, UA, TI, OA.
+//
+//	EA  the docking buffers are allocated in a setup batch
+//	LD  everything is freed at program exit
+//	UA  pMem_evals_of_runs (a tuning counter block) is never accessed
+//	TI  the torsion-angle table is staged at setup but read only by the
+//	    post-evolution local-search refinement
+//	OA  pMem_conformations
+//
+// Best-pose energies are verified against a host rescoring pass.
+const (
+	mdMaxPop   = 16384                            // MAX_POPSIZE
+	mdMaxRuns  = 16                               // MAX_NUM_OF_RUNS
+	mdConfDim  = 4                                // genes per conformation
+	mdPopSize  = 6                                // actual population from the input
+	mdRuns     = 1                                // actual runs from the input
+	mdConfMax  = mdMaxPop * mdMaxRuns * mdConfDim // 1 Mi elements
+	mdGens     = 3                                // docking generations
+	mdGridPts  = 2 << 20                          // field-grid bytes (f32)
+	mdLigAtoms = 2048
+	mdRandPool = 240 << 10
+	mdEvalsB   = 256 << 10 // unused evals-of-runs block
+	mdEnergies = 4 << 10
+	mdAnglesB  = 16 << 10 // precomputed torsion-angle table
+)
+
+func init() {
+	register(&Workload{
+		Name:         "minimdock",
+		Domain:       "Molecular biology",
+		IntraKernels: []string{"docking_kernel", "init_rng"},
+		Run:          runMiniMDock,
+	})
+}
+
+func runMiniMDock(dev *gpu.Device, host Host, v Variant) error {
+	r := newRunner(dev, host)
+
+	// --- setup batch: everything allocated before any transfer ---
+	dGrids := r.malloc("fgrids", mdGridPts, 4)
+	dLigand := r.malloc("ligand_atoms", mdLigAtoms*4, 4)
+	confElems := uint64(mdConfMax)
+	if v == VariantOptimized {
+		// Fix (OA): size the buffer from the input (the 2-SLOC patch).
+		confElems = uint64(mdPopSize * mdRuns * mdConfDim)
+	}
+	dConf := r.malloc("pMem_conformations", confElems*4, 4)
+	dEnergy := r.malloc("pMem_energies", mdEnergies, 4)
+	var dEvals gpu.DevicePtr
+	if v == VariantNaive {
+		dEvals = r.malloc("pMem_evals_of_runs", mdEvalsB, 4) // never used
+	}
+	dRand := r.malloc("rand_pool", mdRandPool, 4)
+
+	dAngles := r.malloc("angle_table", mdAnglesB, 4)
+
+	grids := mdField(0xf00d, int(mdGridPts/4))
+	ligand := mdField(0x11a, mdLigAtoms)
+	angles := mdField(0xa6e5, mdAnglesB/4)
+	r.h2d(dGrids, f32bytes(grids), nil)
+	r.h2d(dLigand, f32bytes(ligand), nil)
+	r.h2d(dAngles, f32bytes(angles), nil)
+
+	// Device-side RNG pool initialization (miniMDock pre-generates its
+	// random streams).
+	r.launch("init_rng", nil, gpu.Dim1(mdRandPool/4/256), gpu.Dim1(256), func(ctx *gpu.ExecContext) {
+		rng := xorshift32(0x5eed1)
+		for i := 0; i < mdRandPool/4; i++ {
+			ctx.StoreF32(dRand+gpu.DevicePtr(i*4), rng.nextF32())
+		}
+	})
+
+	// --- docking generations ---
+	active := mdPopSize * mdRuns * mdConfDim
+	for g := 0; g < mdGens; g++ {
+		gen := g
+		r.launch("docking_kernel", nil, gpu.Dim1(mdRuns), gpu.Dim1(mdPopSize), func(ctx *gpu.ExecContext) {
+			for i := 0; i < mdPopSize*mdRuns; i++ {
+				var energy float32
+				for gene := 0; gene < mdConfDim; gene++ {
+					slot := dConf + gpu.DevicePtr((i*mdConfDim+gene)*4)
+					var pos float32
+					if gen == 0 {
+						pos = ctx.LoadF32(dRand + gpu.DevicePtr(((i*mdConfDim+gene)*7%(mdRandPool/4))*4))
+					} else {
+						step := ctx.LoadF32(dRand + gpu.DevicePtr(((gen*active+i*mdConfDim+gene)*13%(mdRandPool/4))*4))
+						ctx.ComputeF32(2)
+						pos = ctx.LoadF32(slot)*0.9 + step*0.1
+					}
+					ctx.StoreF32(slot, pos)
+					// Field-grid trilinear sample at the gene's position.
+					cell := int(pos*float32(mdGridPts/4-2)) % (mdGridPts/4 - 1)
+					if cell < 0 {
+						cell = -cell
+					}
+					g0 := ctx.LoadF32(dGrids + gpu.DevicePtr(cell*4))
+					g1 := ctx.LoadF32(dGrids + gpu.DevicePtr((cell+1)*4))
+					ctx.ComputeF32(4)
+					energy += g0 + (g1-g0)*pos
+				}
+				// Pairwise ligand contribution: every atom scores.
+				for a := 0; a < mdLigAtoms; a += 16 {
+					lv := ctx.LoadF32(dLigand + gpu.DevicePtr(a*4))
+					ctx.ComputeF32(2)
+					energy += lv * 1e-3
+				}
+				ctx.StoreF32(dEnergy+gpu.DevicePtr(i*4), energy)
+			}
+		})
+	}
+
+	// Post-evolution local-search refinement: the only reader of the
+	// torsion-angle table staged at setup.
+	r.launch("local_search", nil, gpu.Dim1(1), gpu.Dim1(mdPopSize), func(ctx *gpu.ExecContext) {
+		var tableSum float32
+		for i := 0; i < mdAnglesB/4; i++ {
+			tableSum += ctx.LoadF32(dAngles + gpu.DevicePtr(i*4))
+		}
+		ctx.ComputeF32(uint64(mdAnglesB / 4))
+		for i := 0; i < mdPopSize*mdRuns; i++ {
+			slot := dEnergy + gpu.DevicePtr(i*4)
+			ctx.StoreF32(slot, ctx.LoadF32(slot)+tableSum*1e-6)
+		}
+	})
+
+	energies := make([]byte, mdPopSize*mdRuns*4)
+	r.d2h(energies, dEnergy, nil)
+	confOut := make([]byte, active*4)
+	r.d2h(confOut, dConf, nil)
+
+	if r.Err() == nil {
+		if err := verifyMiniMDock(grids, ligand, angles, confOut, energies); err != nil {
+			return fmt.Errorf("minimdock: %w", err)
+		}
+	}
+
+	// --- exit: batch teardown (LD) ---
+	r.free(dGrids)
+	r.free(dLigand)
+	r.free(dAngles)
+	r.free(dConf)
+	r.free(dEnergy)
+	if v == VariantNaive {
+		r.free(dEvals)
+	}
+	r.free(dRand)
+	return r.Err()
+}
+
+// mdField builds a deterministic float field.
+func mdField(seed uint32, n int) []float32 {
+	rng := xorshift32(seed)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.nextF32() - 0.5
+	}
+	return out
+}
+
+// verifyMiniMDock rescoring: recompute each individual's energy from its
+// final conformation and compare with the device's last-generation scores.
+func verifyMiniMDock(grids, ligand, angles []float32, confOut, energies []byte) error {
+	var ligSum float32
+	for a := 0; a < mdLigAtoms; a += 16 {
+		ligSum += ligand[a] * 1e-3
+	}
+	var tableSum float32
+	for _, a := range angles {
+		tableSum += a
+	}
+	for i := 0; i < mdPopSize*mdRuns; i++ {
+		var energy float32
+		for gene := 0; gene < mdConfDim; gene++ {
+			pos := getF32(confOut[(i*mdConfDim+gene)*4:])
+			cell := int(pos*float32(mdGridPts/4-2)) % (mdGridPts/4 - 1)
+			if cell < 0 {
+				cell = -cell
+			}
+			g0 := grids[cell]
+			g1 := grids[cell+1]
+			energy += g0 + (g1-g0)*pos
+		}
+		energy += ligSum + tableSum*1e-6
+		got := getF32(energies[i*4:])
+		if math.Abs(float64(got-energy)) > 1e-3 {
+			return fmt.Errorf("energy[%d] mismatch: got %g want %g", i, got, energy)
+		}
+	}
+	return nil
+}

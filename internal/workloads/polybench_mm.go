@@ -1,0 +1,227 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"drgpum/internal/gpu"
+)
+
+// PolyBench/2MM and PolyBench/3MM: chained dense matrix multiplications.
+// The naive variants keep PolyBench-GPU's structure — every matrix
+// allocated before the first kernel and freed after the last copy-out —
+// which produces the paper's Table 1 patterns:
+//
+//	2MM: EA (D_gpu allocated long before kernel2), LD (A_gpu freed long
+//	     after kernel1), RA (D_gpu can reuse B_gpu).
+//	3MM: the same three plus TI (E_gpu idles between kernel1 and kernel3
+//	     while the C×D product is computed).
+//
+// The optimized variants free inputs at last use, defer allocations and
+// uploads to first use, serve D_gpu from B_gpu's memory (2MM), and offload
+// the temporarily idle E_gpu to the host during kernel2 (3MM). Results are
+// verified against host matrix products.
+const (
+	mmN        = 48
+	mmMatBytes = mmN * mmN * 4
+)
+
+func init() {
+	register(&Workload{
+		Name:         "polybench/2mm",
+		Domain:       "Matrix multiplication",
+		IntraKernels: []string{"mm2_kernel1"},
+		Run:          run2MM,
+	})
+	register(&Workload{
+		Name:         "polybench/3mm",
+		Domain:       "Matrix multiplication",
+		IntraKernels: []string{"mm3_kernel1"},
+		Run:          run3MM,
+	})
+}
+
+// mmInput builds a deterministic matrix.
+func mmInput(seed uint32) []float32 {
+	rng := xorshift32(seed)
+	m := make([]float32, mmN*mmN)
+	for i := range m {
+		m[i] = rng.nextF32() - 0.5
+	}
+	return m
+}
+
+// launchMatmul runs out = a × b on the device with a straightforward
+// row-column kernel (each product element reads 2·N operands).
+func launchMatmul(r *runner, name string, a, b, out gpu.DevicePtr) {
+	r.launch(name, nil, gpu.Dim1(mmN/8), gpu.Dim3{X: 8, Y: mmN, Z: 1}, func(ctx *gpu.ExecContext) {
+		for i := 0; i < mmN; i++ {
+			for j := 0; j < mmN; j++ {
+				var acc float32
+				for k := 0; k < mmN; k++ {
+					acc += ctx.LoadF32(a+gpu.DevicePtr((i*mmN+k)*4)) *
+						ctx.LoadF32(b+gpu.DevicePtr((k*mmN+j)*4))
+				}
+				ctx.ComputeF32(uint64(2 * mmN))
+				ctx.StoreF32(out+gpu.DevicePtr((i*mmN+j)*4), acc)
+			}
+		}
+	})
+}
+
+// hostMatmul is the verification reference.
+func hostMatmul(a, b []float32) []float32 {
+	out := make([]float32, mmN*mmN)
+	for i := 0; i < mmN; i++ {
+		for j := 0; j < mmN; j++ {
+			var acc float32
+			for k := 0; k < mmN; k++ {
+				acc += a[i*mmN+k] * b[k*mmN+j]
+			}
+			out[i*mmN+j] = acc
+		}
+	}
+	return out
+}
+
+// verifyMatrix compares a device result with a host reference.
+func verifyMatrix(name string, got []byte, want []float32) error {
+	for i := range want {
+		g := getF32(got[i*4:])
+		if math.Abs(float64(g-want[i])) > 1e-2 {
+			return fmt.Errorf("%s[%d] mismatch: got %g want %g", name, i, g, want[i])
+		}
+	}
+	return nil
+}
+
+func run2MM(dev *gpu.Device, host Host, v Variant) error {
+	r := newRunner(dev, host)
+	hA, hB, hC := mmInput(11), mmInput(12), mmInput(13)
+
+	var dA, dB, dC, dD, dTmp gpu.DevicePtr
+	if v == VariantNaive {
+		dA = r.malloc("A_gpu", mmMatBytes, 4)
+		dB = r.malloc("B_gpu", mmMatBytes, 4)
+		dC = r.malloc("C_gpu", mmMatBytes, 4)
+		dD = r.malloc("D_gpu", mmMatBytes, 4)
+		dTmp = r.malloc("tmp_gpu", mmMatBytes, 4)
+	} else {
+		dA = r.malloc("A_gpu", mmMatBytes, 4)
+		dB = r.malloc("B_gpu", mmMatBytes, 4)
+		dTmp = r.malloc("tmp_gpu", mmMatBytes, 4)
+	}
+
+	r.h2d(dA, f32bytes(hA), nil)
+	r.h2d(dB, f32bytes(hB), nil)
+	launchMatmul(r, "mm2_kernel1", dA, dB, dTmp)
+
+	if v == VariantOptimized {
+		// Fix (LD): A_gpu's last access was kernel1.
+		r.free(dA)
+		// Fix (RA): serve D_gpu from B_gpu's memory instead of a fresh
+		// allocation — B_gpu's last access was also kernel1.
+		dD = dB
+		// Fix (EA): C_gpu arrives only when kernel2 needs it.
+		dC = r.malloc("C_gpu", mmMatBytes, 4)
+	}
+	r.h2d(dC, f32bytes(hC), nil)
+	launchMatmul(r, "mm2_kernel2", dTmp, dC, dD)
+
+	out := make([]byte, mmMatBytes)
+	r.d2h(out, dD, nil)
+
+	if r.Err() == nil {
+		want := hostMatmul(hostMatmul(hA, hB), hC)
+		if err := verifyMatrix("D", out, want); err != nil {
+			return fmt.Errorf("2mm: %w", err)
+		}
+	}
+
+	if v == VariantNaive {
+		r.free(dA)
+		r.free(dD)
+	}
+	r.free(dB)
+	r.free(dC)
+	r.free(dTmp)
+	return r.Err()
+}
+
+func run3MM(dev *gpu.Device, host Host, v Variant) error {
+	r := newRunner(dev, host)
+	hA, hB := mmInput(21), mmInput(22)
+	hC, hD := mmInput(23), mmInput(24)
+
+	var dA, dB, dC, dD, dE, dF, dG gpu.DevicePtr
+	if v == VariantNaive {
+		dA = r.malloc("A_gpu", mmMatBytes, 4)
+		dB = r.malloc("B_gpu", mmMatBytes, 4)
+		dC = r.malloc("C_gpu", mmMatBytes, 4)
+		dD = r.malloc("D_gpu", mmMatBytes, 4)
+		dE = r.malloc("E_gpu", mmMatBytes, 4)
+		dF = r.malloc("F_gpu", mmMatBytes, 4)
+		dG = r.malloc("G_gpu", mmMatBytes, 4)
+	} else {
+		dA = r.malloc("A_gpu", mmMatBytes, 4)
+		dB = r.malloc("B_gpu", mmMatBytes, 4)
+		dE = r.malloc("E_gpu", mmMatBytes, 4)
+	}
+
+	// E := A × B
+	r.h2d(dA, f32bytes(hA), nil)
+	r.h2d(dB, f32bytes(hB), nil)
+	launchMatmul(r, "mm3_kernel1", dA, dB, dE)
+
+	var eSpill []byte
+	if v == VariantOptimized {
+		r.free(dA)
+		r.free(dB)
+		// Fix (TI): E_gpu idles through the whole C×D phase — offload it to
+		// the host and bring it back before kernel3.
+		eSpill = make([]byte, mmMatBytes)
+		r.d2h(eSpill, dE, nil)
+		r.free(dE)
+		dC = r.malloc("C_gpu", mmMatBytes, 4)
+		dD = r.malloc("D_gpu", mmMatBytes, 4)
+		dF = r.malloc("F_gpu", mmMatBytes, 4)
+	}
+
+	// F := C × D
+	r.h2d(dC, f32bytes(hC), nil)
+	r.h2d(dD, f32bytes(hD), nil)
+	r.memset(dF, 0, mmMatBytes, nil)
+	launchMatmul(r, "mm3_kernel2", dC, dD, dF)
+
+	if v == VariantOptimized {
+		r.free(dC)
+		// Fix (RA): G_gpu reuses D_gpu's memory.
+		dG = dD
+		dE = r.malloc("E_gpu", mmMatBytes, 4)
+		r.h2d(dE, eSpill, nil)
+	}
+
+	// G := E × F
+	launchMatmul(r, "mm3_kernel3", dE, dF, dG)
+
+	out := make([]byte, mmMatBytes)
+	r.d2h(out, dG, nil)
+
+	if r.Err() == nil {
+		want := hostMatmul(hostMatmul(hA, hB), hostMatmul(hC, hD))
+		if err := verifyMatrix("G", out, want); err != nil {
+			return fmt.Errorf("3mm: %w", err)
+		}
+	}
+
+	if v == VariantNaive {
+		r.free(dA)
+		r.free(dB)
+		r.free(dC)
+		r.free(dG)
+	}
+	r.free(dD)
+	r.free(dE)
+	r.free(dF)
+	return r.Err()
+}

@@ -1,0 +1,244 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/pool"
+)
+
+// PyTorch: ResNet-style convolution stack running on a caching memory pool
+// (the PyTorch CUDA caching allocator analog, paper §5.4). Tensors are
+// served by custom pool APIs that the Sanitizer cannot see; the profiler's
+// pool bridge restores per-tensor visibility.
+//
+// The slow_conv2d_forward path always materializes its im2col "columns"
+// tensor, even for 1x1 convolutions whose GEMM reads the input directly —
+// the paper's §7.4 unused-allocation finding (Listing 4), fixed upstream
+// in PyTorch PR 79183 by allocating columns only when requires_columns
+// holds. The network's memory peak falls in the wide 1x1 projection
+// layers, so the fix trims the convolution peak by ~3%.
+//
+// Patterns (Table 1): EA, LD, RA, UA, TI.
+//
+//	EA/TI  layer weights are allocated and pushed at model-build time and
+//	       first used by their layer's forward kernel
+//	LD     weights are released only when the model is destroyed
+//	RA     activation tensors of equal size-class have disjoint lifetimes
+//	UA     columns of 1x1 layers is never accessed
+//
+// The final feature map is verified against a host reference.
+const (
+	ptWBytes  = 6 << 10
+	ptCol1x1  = 16 << 10 // tiled columns of a 1x1 layer
+	ptSegment = 16 << 10
+)
+
+// ptLayer describes one convolution layer.
+type ptLayer struct {
+	name            string
+	kw              int // kernel width: 3 => im2col path, 1 => direct GEMM
+	requiresColumns bool
+	inElems         int
+	outElems        int
+}
+
+// ptModel is the network: two 3x3 blocks, then two wide 1x1 projections.
+var ptModel = []ptLayer{
+	{name: "conv1", kw: 3, requiresColumns: true, inElems: 16384, outElems: 16384},
+	{name: "conv2", kw: 3, requiresColumns: true, inElems: 16384, outElems: 16384},
+	{name: "conv3", kw: 1, requiresColumns: false, inElems: 16384, outElems: 65536},
+	{name: "conv4", kw: 1, requiresColumns: false, inElems: 65536, outElems: 65536},
+}
+
+func init() {
+	register(&Workload{
+		Name:         "pytorch",
+		Domain:       "Deep learning",
+		IntraKernels: []string{"conv2d_forward"},
+		Run:          runPyTorch,
+	})
+}
+
+// ptWeightsOf builds layer weights.
+func ptWeightsOf(l int) []float32 {
+	rng := xorshift32(uint32(0x9106 + l))
+	w := make([]float32, ptWBytes/4)
+	for i := range w {
+		w[i] = (rng.nextF32() - 0.5) / 8
+	}
+	return w
+}
+
+func runPyTorch(dev *gpu.Device, host Host, v Variant) error {
+	r := newRunner(dev, host)
+	pl := pool.New(dev, ptSegment)
+	host.AttachPool(pl)
+
+	palloc := func(label string, size uint64) gpu.DevicePtr {
+		if r.err != nil {
+			return 0
+		}
+		ptr, err := pl.Alloc(size)
+		if err != nil {
+			r.fail(fmt.Errorf("%s: %w", label, err))
+			return 0
+		}
+		r.host.Annotate(ptr, label, 4)
+		return ptr
+	}
+	pfree := func(ptr gpu.DevicePtr) {
+		if r.err != nil || ptr == 0 {
+			return
+		}
+		r.fail(pl.Free(ptr))
+	}
+
+	// --- model build: every layer's weights allocated and pushed ---
+	hostW := make([][]float32, len(ptModel))
+	weights := make([]gpu.DevicePtr, len(ptModel))
+	for l := range ptModel {
+		hostW[l] = ptWeightsOf(l)
+		weights[l] = palloc(ptModel[l].name+".weight", ptWBytes)
+		r.h2d(weights[l], f32bytes(hostW[l]), nil)
+	}
+
+	// --- forward pass ---
+	rng := xorshift32(0x1297)
+	img := make([]float32, ptModel[0].inElems)
+	for i := range img {
+		img[i] = rng.nextF32()
+	}
+	x := palloc("input", uint64(len(img)*4))
+	r.h2d(x, f32bytes(img), nil)
+
+	for l, layer := range ptModel {
+		var columns gpu.DevicePtr
+		colBytes := uint64(3 * layer.outElems * 4)
+		if layer.kw == 1 {
+			colBytes = ptCol1x1
+		}
+		if v == VariantNaive || layer.requiresColumns {
+			// Listing 4: columns = at::empty(...) unconditionally. The
+			// optimized variant allocates it only when requires_columns.
+			columns = palloc(layer.name+".columns", colBytes)
+		}
+		out := palloc(layer.name+".output", uint64(layer.outElems*4))
+		launchConv2D(r, layer, x, weights[l], columns, out)
+		if columns != 0 {
+			pfree(columns)
+		}
+		pfree(x)
+		x = out
+	}
+
+	last := ptModel[len(ptModel)-1]
+	final := make([]byte, last.outElems*4)
+	r.d2h(final, x, nil)
+	pfree(x)
+
+	if r.Err() == nil {
+		if err := verifyPyTorch(img, hostW, final); err != nil {
+			return fmt.Errorf("pytorch: %w", err)
+		}
+	}
+
+	// --- model destruction: weights released in a batch (LD) ---
+	for l := range ptModel {
+		pfree(weights[l])
+	}
+	if r.Err() == nil {
+		r.fail(pl.Release())
+	}
+	return r.Err()
+}
+
+// launchConv2D runs one layer: a 3-tap conv through an im2col staging
+// buffer, or a direct 1x1 channel projection that never touches columns.
+func launchConv2D(r *runner, layer ptLayer, dIn, dW, dCols, dOut gpu.DevicePtr) {
+	r.launch("conv2d_forward", nil, gpu.Dim1(layer.outElems/256), gpu.Dim1(256), func(ctx *gpu.ExecContext) {
+		nw := ptWBytes / 4
+		if layer.kw == 1 {
+			// gemm_in_ptr == input: columns is bypassed entirely.
+			for i := 0; i < layer.outElems; i++ {
+				xv := ctx.LoadF32(dIn + gpu.DevicePtr((i%layer.inElems)*4))
+				wv := ctx.LoadF32(dW + gpu.DevicePtr((i%nw)*4))
+				ctx.ComputeF32(2)
+				y := xv * wv
+				if y < 0 {
+					y = 0
+				}
+				ctx.StoreF32(dOut+gpu.DevicePtr(i*4), y)
+			}
+			return
+		}
+		// im2col into columns, then the GEMM reads it back.
+		for i := 0; i < layer.outElems; i++ {
+			for t := 0; t < 3; t++ {
+				j := i + t - 1
+				var xv float32
+				if j >= 0 && j < layer.inElems {
+					xv = ctx.LoadF32(dIn + gpu.DevicePtr(j*4))
+				}
+				ctx.StoreF32(dCols+gpu.DevicePtr((i*3+t)*4), xv)
+			}
+		}
+		for i := 0; i < layer.outElems; i++ {
+			var acc float32
+			for t := 0; t < 3; t++ {
+				cv := ctx.LoadF32(dCols + gpu.DevicePtr((i*3+t)*4))
+				wv := ctx.LoadF32(dW + gpu.DevicePtr(((i*3+t)%nw)*4))
+				acc += cv * wv
+			}
+			ctx.ComputeF32(6)
+			if acc < 0 {
+				acc = 0
+			}
+			ctx.StoreF32(dOut+gpu.DevicePtr(i*4), acc)
+		}
+	})
+}
+
+// verifyPyTorch mirrors the forward pass on the host.
+func verifyPyTorch(img []float32, hostW [][]float32, got []byte) error {
+	cur := append([]float32(nil), img...)
+	nw := ptWBytes / 4
+	for l, layer := range ptModel {
+		w := hostW[l]
+		next := make([]float32, layer.outElems)
+		if layer.kw == 1 {
+			for i := 0; i < layer.outElems; i++ {
+				y := cur[i%layer.inElems] * w[i%nw]
+				if y < 0 {
+					y = 0
+				}
+				next[i] = y
+			}
+		} else {
+			for i := 0; i < layer.outElems; i++ {
+				var acc float32
+				for t := 0; t < 3; t++ {
+					j := i + t - 1
+					var xv float32
+					if j >= 0 && j < layer.inElems {
+						xv = cur[j]
+					}
+					acc += xv * w[(i*3+t)%nw]
+				}
+				if acc < 0 {
+					acc = 0
+				}
+				next[i] = acc
+			}
+		}
+		cur = next
+	}
+	for i := range cur {
+		g := getF32(got[i*4:])
+		if math.Abs(float64(g-cur[i])) > 1e-4 {
+			return fmt.Errorf("output[%d] mismatch: got %g want %g", i, g, cur[i])
+		}
+	}
+	return nil
+}

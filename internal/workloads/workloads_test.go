@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+
+	"drgpum/internal/gpu"
+)
+
+// TestEveryWorkloadRunsAndVerifies executes each workload in both variants
+// on both device specs, natively (no profiler). Every workload carries an
+// internal host-reference verification, so a passing Run means the
+// program's computation is correct — including after the optimization
+// patches (the paper's "optimized code does not change program semantics"
+// requirement).
+func TestEveryWorkloadRunsAndVerifies(t *testing.T) {
+	specs := []gpu.DeviceSpec{gpu.SpecRTX3090(), gpu.SpecA100()}
+	for _, w := range All() {
+		for _, spec := range specs {
+			for _, v := range []Variant{VariantNaive, VariantOptimized} {
+				w, spec, v := w, spec, v
+				t.Run(w.Name+"/"+spec.Name+"/"+v.String(), func(t *testing.T) {
+					dev := gpu.NewDevice(spec)
+					if err := w.Run(dev, NopHost(), v); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != 12 {
+		t.Fatalf("registry has %d workloads, want the paper's 12", len(All()))
+	}
+	names := Names()
+	want := []string{
+		"rodinia/huffman", "rodinia/dwt2d",
+		"polybench/2mm", "polybench/3mm", "polybench/gramschmidt", "polybench/bicg",
+		"pytorch", "laghos", "darknet", "xsbench", "minimdock", "simplemulticopy",
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %q, want %q (Table 1 order)", i, names[i], n)
+		}
+	}
+	for _, n := range want {
+		w, ok := ByName(n)
+		if !ok || w.Domain == "" || w.Run == nil {
+			t.Errorf("workload %q incomplete", n)
+		}
+		if len(w.IntraKernels) == 0 {
+			t.Errorf("workload %q has no intra-object kernel whitelist", n)
+		}
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName resolved a bogus name")
+	}
+	sorted := SortedNames()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			t.Error("SortedNames not sorted")
+		}
+	}
+}
+
+// TestOptimizedVariantsReducePeak checks the direction of every Table 4
+// row on raw device-allocator peaks: optimized never exceeds naive, and
+// the memory workloads reduce it substantially.
+func TestOptimizedVariantsReducePeak(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			peaks := map[Variant]uint64{}
+			for _, v := range []Variant{VariantNaive, VariantOptimized} {
+				dev := gpu.NewDevice(gpu.SpecRTX3090())
+				if err := w.Run(dev, NopHost(), v); err != nil {
+					t.Fatal(err)
+				}
+				peaks[v] = dev.MemStats().Peak
+			}
+			if peaks[VariantOptimized] > peaks[VariantNaive] {
+				t.Errorf("optimization increased the allocator peak: %d -> %d",
+					peaks[VariantNaive], peaks[VariantOptimized])
+			}
+		})
+	}
+}
+
+// TestSpeedupWorkloads checks the GramSchmidt/BICG optimization speedups
+// land in the paper's ballpark on both devices and preserve the paper's
+// device ordering (BICG gains more on the A100, GramSchmidt more on the
+// RTX 3090).
+func TestSpeedupWorkloads(t *testing.T) {
+	speedup := func(name string, spec gpu.DeviceSpec) float64 {
+		w, _ := ByName(name)
+		var times [2]uint64
+		for i, v := range []Variant{VariantNaive, VariantOptimized} {
+			dev := gpu.NewDevice(spec)
+			if err := w.Run(dev, NopHost(), v); err != nil {
+				t.Fatal(err)
+			}
+			times[i] = dev.Elapsed()
+		}
+		return float64(times[0]) / float64(times[1])
+	}
+
+	gsRTX := speedup("polybench/gramschmidt", gpu.SpecRTX3090())
+	gsA100 := speedup("polybench/gramschmidt", gpu.SpecA100())
+	bicgRTX := speedup("polybench/bicg", gpu.SpecRTX3090())
+	bicgA100 := speedup("polybench/bicg", gpu.SpecA100())
+
+	check := func(name string, got, lo, hi float64) {
+		if got < lo || got > hi {
+			t.Errorf("%s speedup = %.2fx, want within [%.2f, %.2f]", name, got, lo, hi)
+		}
+	}
+	// Paper: 1.39x / 1.30x and 2.06x / 2.48x.
+	check("gramschmidt RTX3090", gsRTX, 1.25, 1.55)
+	check("gramschmidt A100", gsA100, 1.20, 1.45)
+	check("bicg RTX3090", bicgRTX, 1.85, 2.30)
+	check("bicg A100", bicgA100, 2.20, 2.70)
+
+	if gsRTX <= gsA100 {
+		t.Errorf("GramSchmidt (FP32) should gain more on the RTX 3090: %.2f vs %.2f", gsRTX, gsA100)
+	}
+	if bicgA100 <= bicgRTX {
+		t.Errorf("BICG (FP64) should gain more on the A100: %.2f vs %.2f", bicgA100, bicgRTX)
+	}
+}
+
+// TestWorkloadsDeterministic runs one workload twice and expects identical
+// simulated timing and allocator stats — the substrate's reproducibility
+// guarantee that makes the experiments meaningful.
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, name := range []string{"rodinia/huffman", "simplemulticopy", "xsbench"} {
+		w, _ := ByName(name)
+		var elapsed [2]uint64
+		var peaks [2]uint64
+		for i := 0; i < 2; i++ {
+			dev := gpu.NewDevice(gpu.SpecA100())
+			if err := w.Run(dev, NopHost(), VariantNaive); err != nil {
+				t.Fatal(err)
+			}
+			elapsed[i] = dev.Elapsed()
+			peaks[i] = dev.MemStats().Peak
+		}
+		if elapsed[0] != elapsed[1] || peaks[0] != peaks[1] {
+			t.Errorf("%s not deterministic: cycles %d/%d peaks %d/%d",
+				name, elapsed[0], elapsed[1], peaks[0], peaks[1])
+		}
+	}
+}
+
+// TestWorkloadsSurfaceOOM checks that device exhaustion propagates as a
+// wrapped gpu.ErrOutOfMemory instead of being swallowed by the runner.
+func TestWorkloadsSurfaceOOM(t *testing.T) {
+	tiny := gpu.SpecTest()
+	tiny.MemoryCapacity = 64 << 10 // far too small for any workload
+	for _, name := range []string{"rodinia/huffman", "minimdock", "darknet"} {
+		w, _ := ByName(name)
+		dev := gpu.NewDevice(tiny)
+		err := w.Run(dev, NopHost(), VariantNaive)
+		if !errors.Is(err, gpu.ErrOutOfMemory) {
+			t.Errorf("%s on a tiny device: err = %v, want ErrOutOfMemory", name, err)
+		}
+	}
+}
+
+// TestSyntheticIsUnregistered ensures the kitchen-sink fixture never leaks
+// into the evaluated suite (it would corrupt the Table 1/4 harnesses).
+func TestSyntheticIsUnregistered(t *testing.T) {
+	if _, ok := ByName("synthetic/kitchen-sink"); ok {
+		t.Fatal("synthetic workload registered")
+	}
+	if len(All()) != 12 {
+		t.Fatalf("All() = %d workloads", len(All()))
+	}
+}

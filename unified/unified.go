@@ -1,0 +1,68 @@
+// Package unified is the public surface of DrGPUM-Go's CPU-GPU interaction
+// analysis — the paper's stated future work (§8): finding memory
+// inefficiencies that live in unified (managed) memory rather than in GPU
+// code alone, such as page-level false sharing.
+//
+// A Manager emulates CUDA unified memory over a gpusim device: managed
+// buffers are paged, touching a page from the "wrong" side migrates it,
+// and the migration history is mined for two problems:
+//
+//   - page-level false sharing: a ping-ponging page whose host and device
+//     accesses touch disjoint cache lines (they share the page, not the
+//     data — split or pad the allocations);
+//   - thrashing: a ping-ponging page whose accesses genuinely overlap
+//     (batch accesses, prefetch, or switch to explicit copies).
+//
+// Usage:
+//
+//	dev := gpusim.NewDevice(gpusim.SpecA100())
+//	um := unified.NewManager(dev, 4096)
+//	dev.SetPatchLevel(gpusim.PatchFull) // kernel accesses must be visible
+//	buf, _ := um.MallocManaged("state", 64<<10)
+//	um.HostWrite(buf, data)
+//	// ... kernels on dev touch buf ...
+//	for _, f := range um.Detect() { fmt.Println(f.Kind, f.Suggestion) }
+package unified
+
+import (
+	"drgpum/internal/gpu"
+	"drgpum/internal/unified"
+)
+
+// Manager emulates unified memory over one device and analyzes its
+// migration traffic.
+type Manager = unified.Manager
+
+// Side says where a page resides (host or device).
+type Side = unified.Side
+
+// Residency sides.
+const (
+	SideHost   = unified.SideHost
+	SideDevice = unified.SideDevice
+)
+
+// FindingKind classifies a unified-memory finding.
+type FindingKind = unified.FindingKind
+
+// Finding kinds.
+const (
+	FalseSharing = unified.FalseSharing
+	Thrashing    = unified.Thrashing
+)
+
+// Finding is one problematic unified-memory page.
+type Finding = unified.Finding
+
+// Stats aggregates a run's migration traffic.
+type Stats = unified.Stats
+
+// ErrNotManaged is returned for host accesses outside managed buffers.
+var ErrNotManaged = unified.ErrNotManaged
+
+// NewManager creates a manager with the given page size (0 selects 4096)
+// and registers it on the device. The device must run at PatchFull for
+// kernel accesses to be observable.
+func NewManager(dev *gpu.Device, pageSize uint64) *Manager {
+	return unified.NewManager(dev, pageSize)
+}

@@ -1,0 +1,44 @@
+package unified_test
+
+import (
+	"testing"
+
+	"drgpum/gpusim"
+	"drgpum/unified"
+)
+
+// TestPublicUnifiedSurface exercises the documented workflow through the
+// public packages only.
+func TestPublicUnifiedSurface(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.SpecA100())
+	um := unified.NewManager(dev, 4096)
+	dev.SetPatchLevel(gpusim.PatchFull)
+
+	buf, err := um.MallocManaged("state", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := um.HostWrite(buf, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.LaunchFunc(nil, "k", gpusim.Dim1(1), gpusim.Dim1(1),
+			func(ctx *gpusim.ExecContext) {
+				ctx.StoreU32(buf+2048, 1)
+			}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := um.Stats()
+	if st.Migrations < 8 {
+		t.Errorf("migrations = %d, want ping-pong", st.Migrations)
+	}
+	fs := um.Detect()
+	if len(fs) != 1 || fs[0].Kind != unified.FalseSharing {
+		t.Fatalf("findings = %+v, want one false-sharing page", fs)
+	}
+	if err := um.FreeManaged(buf); err != nil {
+		t.Fatal(err)
+	}
+}
