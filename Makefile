@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build test race vet fmt bench
+
+# check is the tier-1 verify gate (see ROADMAP.md): static checks, the
+# full test suite, and the race-enabled run that guards the concurrent
+# offline analysis pipeline.
+check: vet fmt build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...

@@ -17,7 +17,10 @@
 package advisor
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"drgpum/internal/pattern"
 	"drgpum/internal/trace"
@@ -198,7 +201,21 @@ func Advise(t *trace.Trace, findings []pattern.Finding) Estimate {
 // severity metrics approximate. A finding whose object never contributes to
 // the peak has zero marginal savings even if it wastes many bytes, which is
 // exactly the distinction a developer planning fixes needs.
+//
+// The per-finding estimates are independent replays over a read-only trace,
+// so they fan out across GOMAXPROCS workers; each worker writes only its
+// finding's slot, so the result is identical to the sequential variant.
 func MarginalSavings(t *trace.Trace, findings []pattern.Finding) []uint64 {
+	return marginalSavings(t, findings, runtime.GOMAXPROCS(0))
+}
+
+// MarginalSavingsSequential is MarginalSavings restricted to the calling
+// goroutine (Config.SequentialAnalysis; the results are byte-identical).
+func MarginalSavingsSequential(t *trace.Trace, findings []pattern.Finding) []uint64 {
+	return marginalSavings(t, findings, 1)
+}
+
+func marginalSavings(t *trace.Trace, findings []pattern.Finding, workers int) []uint64 {
 	out := make([]uint64, len(findings))
 	if len(findings) == 0 {
 		return out
@@ -211,13 +228,38 @@ func MarginalSavings(t *trace.Trace, findings []pattern.Finding) []uint64 {
 		return out
 	}
 	base := Advise(t, nil).OriginalPeak
-	for i := range findings {
-		one := findings[i : i+1]
-		est := Advise(t, one)
+	one := func(i int) {
+		est := Advise(t, findings[i:i+1])
 		if est.EstimatedPeak < base {
 			out[i] = base - est.EstimatedPeak
 		}
 	}
+	if workers > len(findings) {
+		workers = len(findings)
+	}
+	if workers <= 1 {
+		for i := range findings {
+			one(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(findings) {
+					return
+				}
+				one(i)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 

@@ -7,6 +7,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"drgpum/internal/advisor"
 	"drgpum/internal/depgraph"
@@ -42,6 +43,13 @@ type Config struct {
 	ObjectIDMode gpu.ObjectIDMode
 	// DefaultElemSize is assumed for unannotated objects (bytes).
 	DefaultElemSize uint32
+	// SequentialAnalysis forces the offline analysis stages to run strictly
+	// sequentially on one goroutine. The default concurrent pipeline is
+	// deterministic (reports are byte-identical either way — the
+	// determinism regression tests pin this); the switch exists for
+	// debugging and for environments where the analyzer must not spawn
+	// goroutines.
+	SequentialAnalysis bool
 }
 
 // DefaultConfig returns the paper's experimental settings at object-level
@@ -178,19 +186,56 @@ func (p *Profiler) Snapshot() *Report {
 }
 
 // analyze builds a report from the current collection state.
+//
+// The offline stages run as a two-step concurrent pipeline (the online
+// collector is untouched — only the post-run analysis parallelizes):
+//
+//  1. depgraph.Annotate runs first and alone: it writes APIInfo.Topo, which
+//     every later stage reads.
+//  2. peak analysis, the object-level detectors and the intra-object
+//     detectors are mutually independent — peak and objlevel only read the
+//     trace, and the intra-object recorder mutates nothing but itself — so
+//     they run concurrently.
+//  3. The advisor's marginal-savings scan (itself fanned out per finding)
+//     and the aggregate what-if estimate both only read the trace and the
+//     findings, so they run concurrently too.
+//
+// Every stage writes to its own variable and the findings are concatenated
+// and decorated in a fixed order, so the report is byte-identical to the
+// sequential pipeline (Config.SequentialAnalysis; pinned by the determinism
+// regression tests).
 func (p *Profiler) analyze() *Report {
 	t := p.collector.Trace()
 	g := depgraph.Annotate(t)
-	pk := peak.Analyze(t, p.cfg.TopPeaks)
 
-	findings := objlevel.Detect(t, p.cfg.ObjLevel)
+	var pk *peak.Analysis
+	var objFindings, intraFindings []pattern.Finding
 	var modeStats intraobj.ModeStats
-	if p.recorder != nil {
-		findings = append(findings, p.recorder.Detect(p.cfg.IntraObj)...)
-		modeStats = p.recorder.Stats()
-	}
+	p.runStages(
+		func() { pk = peak.Analyze(t, p.cfg.TopPeaks) },
+		func() { objFindings = objlevel.Detect(t, p.cfg.ObjLevel) },
+		func() {
+			if p.recorder != nil {
+				intraFindings = p.recorder.Detect(p.cfg.IntraObj)
+				modeStats = p.recorder.Stats()
+			}
+		},
+	)
+	findings := append(objFindings, intraFindings...)
 
-	marginal := advisor.MarginalSavings(t, findings)
+	var marginal []uint64
+	var advice advisor.Estimate
+	p.runStages(
+		func() {
+			if p.cfg.SequentialAnalysis {
+				marginal = advisor.MarginalSavingsSequential(t, findings)
+			} else {
+				marginal = advisor.MarginalSavings(t, findings)
+			}
+		},
+		func() { advice = advisor.Advise(t, findings) },
+	)
+
 	for i := range findings {
 		f := &findings[i]
 		f.OnPeak = pk.OnPeak(f.Object)
@@ -218,8 +263,30 @@ func (p *Profiler) analyze() *Report {
 		Elapsed:   p.dev.Elapsed(),
 		ModeStats: modeStats,
 		Recorder:  p.recorder,
-		Advice:    advisor.Advise(t, findings),
+		Advice:    advice,
 	}
+}
+
+// runStages executes the given independent analysis stages, concurrently by
+// default or in order under Config.SequentialAnalysis. The first stage runs
+// on the calling goroutine either way.
+func (p *Profiler) runStages(stages ...func()) {
+	if p.cfg.SequentialAnalysis {
+		for _, s := range stages {
+			s()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(stages) - 1)
+	for _, s := range stages[1:] {
+		go func() {
+			defer wg.Done()
+			s()
+		}()
+	}
+	stages[0]()
+	wg.Wait()
 }
 
 // severity ranks findings for report order: wasted bytes scaled by the

@@ -1,0 +1,133 @@
+package intraobj
+
+import (
+	"testing"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/trace"
+)
+
+// benchObjects builds n standalone objects of elems u32 elements each at
+// disjoint addresses, bypassing the device so the benchmark isolates the
+// recorder's ingestion path.
+func benchObjects(n, elems int) []*trace.Object {
+	objs := make([]*trace.Object, n)
+	for i := range objs {
+		objs[i] = &trace.Object{
+			ID:       trace.ObjectID(i),
+			Ptr:      gpu.DevicePtr(0x1000_0000 + uint64(i)*uint64(elems)*4),
+			Size:     uint64(elems) * 4,
+			ElemSize: 4,
+		}
+	}
+	return objs
+}
+
+// BenchmarkRecorderIngest measures the recorder's access-ingestion hot path
+// (ObjectAccess + per-API finalization), the dominant cost of intra-object
+// profiling (paper §5.5, Figure 6's 3.5-4x overhead band).
+func BenchmarkRecorderIngest(b *testing.B) {
+	const elems = 1 << 14
+
+	// pointwise: one element per access, sweeping the object — the shape of
+	// an instrumented elementwise kernel.
+	b.Run("pointwise", func(b *testing.B) {
+		objs := benchObjects(1, elems)
+		r := NewRecorder(0)
+		rec := &gpu.APIRecord{Kind: gpu.APIKernel, Name: "k", Instrumented: true}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Index = uint64(i)
+			o := objs[0]
+			for e := 0; e < elems; e++ {
+				r.ObjectAccess(o, rec, gpu.MemAccess{
+					Addr: o.Ptr + gpu.DevicePtr(e*4), Size: 4, Space: gpu.SpaceGlobal,
+				})
+			}
+		}
+		b.StopTimer()
+		r.Flush()
+		b.ReportMetric(float64(elems), "accesses/op")
+	})
+
+	// ranged: each access covers a 1 KiB run of elements — the shape of
+	// vectorized/coalesced kernels, where per-element map updates hurt most.
+	b.Run("ranged", func(b *testing.B) {
+		objs := benchObjects(1, elems)
+		r := NewRecorder(0)
+		rec := &gpu.APIRecord{Kind: gpu.APIKernel, Name: "k", Instrumented: true}
+		const span = 1024 // bytes per access = 256 elements
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Index = uint64(i)
+			o := objs[0]
+			for off := 0; off+span <= elems*4; off += span {
+				r.ObjectAccess(o, rec, gpu.MemAccess{
+					Addr: o.Ptr + gpu.DevicePtr(off), Size: span, Space: gpu.SpaceGlobal,
+				})
+			}
+		}
+		b.StopTimer()
+		r.Flush()
+	})
+
+	// host-spill: a capacity of one byte forces the host-side map-update
+	// mode, exercising the spill buffer and its replay at finalization.
+	b.Run("host-spill", func(b *testing.B) {
+		objs := benchObjects(1, elems)
+		r := NewRecorder(1)
+		rec := &gpu.APIRecord{Kind: gpu.APIKernel, Name: "k", Instrumented: true}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Index = uint64(i)
+			o := objs[0]
+			for e := 0; e < elems; e++ {
+				r.ObjectAccess(o, rec, gpu.MemAccess{
+					Addr: o.Ptr + gpu.DevicePtr(e*4), Size: 4, Space: gpu.SpaceGlobal,
+				})
+			}
+		}
+		b.StopTimer()
+		r.Flush()
+	})
+
+	// many-objects: 256 tracked objects but each kernel touches only one —
+	// the per-API finalization cost must scale with the touched set, not
+	// with every object ever seen.
+	b.Run("many-objects", func(b *testing.B) {
+		const nObj = 256
+		objs := benchObjects(nObj, 256)
+		r := NewRecorder(0)
+		rec := &gpu.APIRecord{Kind: gpu.APIKernel, Name: "k", Instrumented: true}
+		// Register every object once so the tracked set is fully populated.
+		for i, o := range objs {
+			rec.Index = uint64(i)
+			r.ObjectAccess(o, rec, gpu.MemAccess{Addr: o.Ptr, Size: 4, Space: gpu.SpaceGlobal})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Index = uint64(nObj + i)
+			o := objs[i%nObj]
+			for e := 0; e < 64; e++ {
+				r.ObjectAccess(o, rec, gpu.MemAccess{
+					Addr: o.Ptr + gpu.DevicePtr(e*4), Size: 4, Space: gpu.SpaceGlobal,
+				})
+			}
+		}
+		b.StopTimer()
+		r.Flush()
+	})
+}
+
+// BenchmarkBitmapSetRange isolates the ranged bitmap update primitive.
+func BenchmarkBitmapSetRange(b *testing.B) {
+	bm := NewBitmap(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bm.SetRange(3, 1<<16-5)
+	}
+}

@@ -44,7 +44,10 @@ func (b *Bitmap) Get(i int) bool {
 	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
-// SetRange marks elements [lo, hi] inclusive.
+// SetRange marks elements [lo, hi] inclusive, operating on whole 64-bit
+// words: partial masks at the edges, full-word stores in between. Ranged
+// accesses on the ingestion hot path depend on this being O(words), not
+// O(elements).
 func (b *Bitmap) SetRange(lo, hi int) {
 	if lo < 0 {
 		lo = 0
@@ -52,9 +55,48 @@ func (b *Bitmap) SetRange(lo, hi int) {
 	if hi >= b.n {
 		hi = b.n - 1
 	}
-	for i := lo; i <= hi; i++ {
-		b.Set(i)
+	if lo > hi {
+		return
 	}
+	wLo, wHi := lo>>6, hi>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi)&63)
+	if wLo == wHi {
+		b.words[wLo] |= loMask & hiMask
+		return
+	}
+	b.words[wLo] |= loMask
+	for w := wLo + 1; w < wHi; w++ {
+		b.words[w] = ^uint64(0)
+	}
+	b.words[wHi] |= hiMask
+}
+
+// ResetRange clears elements [lo, hi] inclusive, word-at-a-time like
+// SetRange. The recorder uses it to wipe only the window an API touched
+// instead of the whole map.
+func (b *Bitmap) ResetRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= b.n {
+		hi = b.n - 1
+	}
+	if lo > hi {
+		return
+	}
+	wLo, wHi := lo>>6, hi>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi)&63)
+	if wLo == wHi {
+		b.words[wLo] &^= loMask & hiMask
+		return
+	}
+	b.words[wLo] &^= loMask
+	for w := wLo + 1; w < wHi; w++ {
+		b.words[w] = 0
+	}
+	b.words[wHi] &^= hiMask
 }
 
 // Count returns the number of marked elements.
@@ -111,34 +153,57 @@ func (b *Bitmap) Empty() bool {
 
 // Contiguous reports whether the set bits form one gap-free run (and the
 // bitmap is non-empty). The structured-access detector requires each API's
-// touched region to be a contiguous slice of the object.
+// touched region to be a contiguous slice of the object. Runs word-at-a-
+// time: first/last set bits come from trailing/leading zero counts, and the
+// popcount between them must fill the span.
 func (b *Bitmap) Contiguous() bool {
 	first, last := -1, -1
-	for i := 0; i < b.n; i++ {
-		if b.Get(i) {
-			if first == -1 {
-				first = i
-			}
-			last = i
+	count := 0
+	for w, word := range b.words {
+		if word == 0 {
+			continue
 		}
+		if first == -1 {
+			first = w<<6 + bits.TrailingZeros64(word)
+		}
+		last = w<<6 + 63 - bits.LeadingZeros64(word)
+		count += bits.OnesCount64(word)
 	}
 	if first == -1 {
 		return false
 	}
-	return b.Count() == last-first+1
+	return count == last-first+1
 }
 
 // LargestZeroRun returns the length of the longest run of unmarked
 // elements — the "largest unaccessed memory chunk" of the paper's
-// fragmentation metric (Equation 1).
+// fragmentation metric (Equation 1). All-zero and all-one words are
+// consumed whole; only mixed words walk their bits.
 func (b *Bitmap) LargestZeroRun() int {
 	best, cur := 0, 0
-	for i := 0; i < b.n; i++ {
-		if b.Get(i) {
-			cur = 0
-			continue
+	for w, word := range b.words {
+		// Number of valid bits in this word (the last word may be partial).
+		valid := b.n - w<<6
+		if valid > 64 {
+			valid = 64
 		}
-		cur++
+		switch {
+		case word == 0:
+			cur += valid
+		case valid == 64 && word == ^uint64(0):
+			cur = 0
+		default:
+			for i := 0; i < valid; i++ {
+				if word&(1<<uint(i)) != 0 {
+					cur = 0
+					continue
+				}
+				cur++
+				if cur > best {
+					best = cur
+				}
+			}
+		}
 		if cur > best {
 			best = cur
 		}

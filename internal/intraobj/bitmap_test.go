@@ -180,3 +180,67 @@ func TestBitmapPropertyVsMap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBitmapRangeOpsPropertyVsMap drives random Set/Reset ranges through
+// the word-level implementations and a map-based reference, then compares
+// every derived metric (the ranges deliberately straddle word boundaries).
+func TestBitmapRangeOpsPropertyVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400) + 1
+		b := NewBitmap(n)
+		ref := map[int]bool{}
+		for i := 0; i < 30; i++ {
+			lo, hi := rng.Intn(n), rng.Intn(n)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			set := rng.Intn(3) != 0 // bias toward Set so bitmaps are non-trivial
+			if set {
+				b.SetRange(lo, hi)
+			} else {
+				b.ResetRange(lo, hi)
+			}
+			for e := lo; e <= hi; e++ {
+				if set {
+					ref[e] = true
+				} else {
+					delete(ref, e)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if b.Get(i) != ref[i] {
+				return false
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		first, last := -1, -1
+		for i := 0; i < n; i++ {
+			if ref[i] {
+				if first == -1 {
+					first = i
+				}
+				last = i
+			}
+		}
+		wantContig := first != -1 && len(ref) == last-first+1
+		if b.Contiguous() != wantContig {
+			return false
+		}
+		best, cur := 0, 0
+		for i := 0; i < n; i++ {
+			if ref[i] {
+				cur = 0
+			} else if cur++; cur > best {
+				best = cur
+			}
+		}
+		return b.LargestZeroRun() == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

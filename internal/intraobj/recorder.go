@@ -47,10 +47,18 @@ type objState struct {
 	// for the aggregate histogram shown in reports.
 	totalFreq []uint32
 
-	// current-API state: frequencies are zeroed at every API boundary
-	// (paper §5.2, non-uniform access frequency procedure).
-	curFreq    []uint32
+	// current-API state (paper §5.2, non-uniform access frequency
+	// procedure). Per-element frequencies are kept as a difference array:
+	// an access covering [lo, hi] costs two updates (curDiff[lo]++,
+	// curDiff[hi+1]--) regardless of width, and finalization prefix-sums
+	// the touched window to recover exact counts. uint32 wraparound makes
+	// the -1 markers cancel; true frequencies must fit in uint32, the same
+	// bound the dense map had. curLo/curHi bound the touched elements so
+	// finalization and map wiping scale with the window, not the object.
+	curDiff    []uint32
 	curTouched *Bitmap
+	curLo      int
+	curHi      int
 	curAPI     uint64
 	curKernel  string
 	curActive  bool
@@ -97,6 +105,21 @@ type Recorder struct {
 	states map[trace.ObjectID]*objState
 	order  []trace.ObjectID // insertion order for deterministic reports
 
+	// active lists the objects touched by the in-flight API in first-touch
+	// order, so finalization visits exactly the touched set instead of
+	// every object ever seen.
+	active []*objState
+	// stateCache is a small direct-mapped cache over states, indexed by
+	// ObjectID&7. Kernel streams cycle through a handful of operands (A, r
+	// and s for `s[j] += A[i][j]*r[i]`), so nearly every access resolves
+	// its state with one index and one compare instead of a map lookup and
+	// activation check. Entries are only trusted while active for the
+	// in-flight API.
+	stateCache [8]*objState
+	// mapBytesTotal is the incrementally-maintained access-map footprint of
+	// all tracked objects (what mapBytes re-summed before every kernel).
+	mapBytesTotal uint64
+
 	curAPI    uint64
 	curMode   MapMode
 	haveAPI   bool
@@ -120,14 +143,9 @@ func (r *Recorder) Stats() ModeStats { return r.modeStats }
 
 // mapBytes estimates the device memory the access maps of all tracked
 // objects would occupy: one bit per element (bitmap) plus four bytes per
-// element (frequency map).
-func (r *Recorder) mapBytes() uint64 {
-	var total uint64
-	for _, st := range r.states {
-		total += uint64(st.elems)/8 + uint64(st.elems)*4
-	}
-	return total
-}
+// element (frequency map). Maintained incrementally as objects are first
+// seen, so the per-kernel mode decision is O(1).
+func (r *Recorder) mapBytes() uint64 { return r.mapBytesTotal }
 
 // chooseMode applies the paper's rule: before each kernel, if access maps
 // and live data objects together fit in device memory, update maps on the
@@ -146,8 +164,10 @@ func (r *Recorder) chooseMode() MapMode {
 	return MapModeHost
 }
 
-// ObjectAccess implements trace.AccessSink.
-func (r *Recorder) ObjectAccess(o *trace.Object, rec *gpu.APIRecord, a gpu.MemAccess) {
+// beginAccess is the shared ingestion prologue: close the previous API if
+// the stream moved on, resolve (or create) the object's state, and activate
+// it for the current API.
+func (r *Recorder) beginAccess(o *trace.Object, rec *gpu.APIRecord) *objState {
 	if !r.haveAPI || rec.Index != r.curAPI {
 		r.finalizeAPI()
 		r.curAPI = rec.Index
@@ -160,16 +180,30 @@ func (r *Recorder) ObjectAccess(o *trace.Object, rec *gpu.APIRecord, a gpu.MemAc
 		}
 	}
 
+	// curActive can only be true for the in-flight API (finalizeAPI clears
+	// it), so an active cached state needs no further validation.
+	slot := uint(o.ID) & 7
+	if st := r.stateCache[slot]; st != nil && st.obj == o && st.curActive {
+		return st
+	}
 	st := r.states[o.ID]
 	if st == nil {
 		st = newObjState(o)
 		r.states[o.ID] = st
 		r.order = append(r.order, o.ID)
+		r.mapBytesTotal += uint64(st.elems)/8 + uint64(st.elems)*4
 	}
 	if !st.curActive {
 		st.beginAPI(rec.Index, rec.Name)
+		r.active = append(r.active, st)
 	}
+	r.stateCache[slot] = st
+	return st
+}
 
+// ObjectAccess implements trace.AccessSink.
+func (r *Recorder) ObjectAccess(o *trace.Object, rec *gpu.APIRecord, a gpu.MemAccess) {
+	st := r.beginAccess(o, rec)
 	es := uint64(o.ElemSize)
 	if es == 0 {
 		es = 4
@@ -177,12 +211,35 @@ func (r *Recorder) ObjectAccess(o *trace.Object, rec *gpu.APIRecord, a gpu.MemAc
 	lo := int(uint64(a.Addr-o.Ptr) / es)
 	hi := int((uint64(a.Addr-o.Ptr) + uint64(a.Size) - 1) / es)
 	if r.curMode == MapModeHost {
-		// Host mode: buffer the raw access; the maps are updated when the
-		// kernel finishes (the replay below models the host-side work).
-		st.spill = append(st.spill, spilledAccess{lo: lo, hi: hi})
+		st.addSpill(lo, hi)
 		return
 	}
 	st.update(lo, hi)
+}
+
+// ObjectAccessRun implements trace.BatchAccessSink: a run of consecutive
+// accesses that all hit the same object during the same API pays the state
+// lookup, activation check and mode branch once instead of per access.
+func (r *Recorder) ObjectAccessRun(o *trace.Object, rec *gpu.APIRecord, run []gpu.MemAccess) {
+	if len(run) == 0 {
+		return
+	}
+	st := r.beginAccess(o, rec)
+	es := uint64(o.ElemSize)
+	if es == 0 {
+		es = 4
+	}
+	host := r.curMode == MapModeHost
+	for i := range run {
+		off := uint64(run[i].Addr - o.Ptr)
+		lo := int(off / es)
+		hi := int((off + uint64(run[i].Size) - 1) / es)
+		if host {
+			st.addSpill(lo, hi)
+		} else {
+			st.update(lo, hi)
+		}
+	}
 }
 
 func newObjState(o *trace.Object) *objState {
@@ -195,64 +252,115 @@ func newObjState(o *trace.Object) *objState {
 	}
 }
 
-// beginAPI zeroes the object's current-API maps (paper: "upon the
-// invocation of a GPU API A, DrGPUM zeros out hashmaps of data objects this
-// GPU API will access").
+// beginAPI opens the object's per-API maps (paper: "upon the invocation of
+// a GPU API A, DrGPUM zeros out hashmaps of data objects this GPU API will
+// access"). The maps are wiped window-at-a-time by finalizeAPI, so an
+// object whose maps were never touched since the last reset pays nothing
+// here — only the lazily-allocated buffers are created on first use.
 func (st *objState) beginAPI(api uint64, kernel string) {
-	if st.curFreq == nil {
-		st.curFreq = make([]uint32, st.elems)
+	if st.curDiff == nil {
+		// One extra slot holds the -1 marker of a range ending at the last
+		// element.
+		st.curDiff = make([]uint32, st.elems+1)
 		st.curTouched = NewBitmap(st.elems)
-	} else {
-		for i := range st.curFreq {
-			st.curFreq[i] = 0
-		}
-		st.curTouched.Reset()
 	}
+	st.curLo, st.curHi = st.elems, -1
 	st.curAPI = api
 	st.curKernel = kernel
 	st.curActive = true
 	st.spill = st.spill[:0]
 }
 
-// update applies one access covering elements [lo, hi] to the current maps.
+// update applies one access covering elements [lo, hi] to the current maps:
+// two difference-array stores and one word-level bitmap range set,
+// independent of the access width. Single-element accesses (the pointwise
+// kernel shape) skip the range machinery entirely.
 func (st *objState) update(lo, hi int) {
+	if lo == hi {
+		if uint(lo) >= uint(st.elems) {
+			return
+		}
+		st.curDiff[lo]++
+		st.curDiff[lo+1]--
+		st.curTouched.words[lo>>6] |= 1 << (uint(lo) & 63)
+		if lo < st.curLo {
+			st.curLo = lo
+		}
+		if lo > st.curHi {
+			st.curHi = lo
+		}
+		return
+	}
 	if lo < 0 {
 		lo = 0
 	}
 	if hi >= st.elems {
 		hi = st.elems - 1
 	}
-	for i := lo; i <= hi; i++ {
-		st.curFreq[i]++
-		st.curTouched.Set(i)
+	if lo > hi {
+		return
+	}
+	st.curDiff[lo]++
+	st.curDiff[hi+1]--
+	st.curTouched.SetRange(lo, hi)
+	if lo < st.curLo {
+		st.curLo = lo
+	}
+	if hi > st.curHi {
+		st.curHi = hi
 	}
 }
 
+// addSpill buffers a host-mode access for replay at kernel end, coalescing
+// with the previous record when the new range extends it without overlap
+// (the dominant shape of sequential sweeps). Only disjoint-adjacent merges
+// are legal: merging overlapping records would undercount frequencies.
+func (st *objState) addSpill(lo, hi int) {
+	if n := len(st.spill); n > 0 {
+		last := &st.spill[n-1]
+		if lo == last.hi+1 {
+			last.hi = hi
+			return
+		}
+		if hi == last.lo-1 {
+			last.lo = lo
+			return
+		}
+	}
+	st.spill = append(st.spill, spilledAccess{lo: lo, hi: hi})
+}
+
 // finalizeAPI closes out the per-API maps of every object the finished
-// kernel touched: replay host-mode spills, evaluate the per-API coefficient
-// of variation, run the structured-access disjointness check, and fold the
-// per-API maps into the cumulative ones.
+// kernel touched: replay host-mode spills, evaluate the per-API totals, run
+// the structured-access disjointness check, fold the per-API maps into the
+// cumulative ones, and wipe the touched window so the next beginAPI starts
+// from clean maps. Only the active set — objects this API actually touched
+// — is visited.
 func (r *Recorder) finalizeAPI() {
 	if !r.haveAPI {
 		return
 	}
-	for _, id := range r.order {
-		st := r.states[id]
-		if !st.curActive || st.curAPI != r.curAPI {
-			continue
-		}
+	for _, st := range r.active {
 		for _, s := range st.spill {
 			st.update(s.lo, s.hi)
 		}
 		st.spill = st.spill[:0]
 
-		// Structured access: this API's slice must not overlap any element
-		// already claimed by a previous API.
 		var apiTotal uint64
-		for _, f := range st.curFreq {
-			apiTotal += uint64(f)
-		}
-		if !st.curTouched.Empty() {
+		if st.curHi >= st.curLo {
+			// Prefix-sum the difference array over the touched window to
+			// recover exact per-element frequencies (holes inside the
+			// window sum to zero), folding into the cumulative map as we
+			// go.
+			var cur uint32
+			for i := st.curLo; i <= st.curHi; i++ {
+				cur += st.curDiff[i]
+				st.totalFreq[i] += cur
+				apiTotal += uint64(cur)
+			}
+
+			// Structured access: this API's slice must not overlap any
+			// element already claimed by a previous API.
 			if st.curTouched.Overlaps(st.total) {
 				st.saViolated = true
 			}
@@ -261,20 +369,22 @@ func (r *Recorder) finalizeAPI() {
 			}
 			st.apiTouches++
 			st.sliceTotals = append(st.sliceTotals, apiTotal)
+
+			st.total.Or(st.curTouched)
+
+			// Clean-on-finalize: wipe only the touched window so beginAPI
+			// needs no O(elements) zeroing.
+			clear(st.curDiff[st.curLo : st.curHi+2])
+			st.curTouched.ResetRange(st.curLo, st.curHi)
 		}
 		if apiTotal > st.hotKernelTotal {
 			st.hotKernelTotal = apiTotal
 			st.hotKernel = st.curKernel
 			st.lastAPI = st.curAPI
 		}
-
-		// Fold into cumulative maps.
-		st.total.Or(st.curTouched)
-		for i, f := range st.curFreq {
-			st.totalFreq[i] += f
-		}
 		st.curActive = false
 	}
+	r.active = r.active[:0]
 }
 
 // Flush finalizes the in-flight API. The profiler calls it once collection

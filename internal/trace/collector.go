@@ -14,6 +14,19 @@ type AccessSink interface {
 	ObjectAccess(o *Object, rec *gpu.APIRecord, a gpu.MemAccess)
 }
 
+// BatchAccessSink is an optional AccessSink extension. Kernel access
+// streams have strong spatial locality, so the collector groups runs of
+// consecutive accesses that attribute to the same object and, when the sink
+// implements this interface, delivers each run in one call instead of one
+// call per access. The run slice aliases the collector's batch buffer and
+// is only valid for the duration of the call.
+type BatchAccessSink interface {
+	AccessSink
+	// ObjectAccessRun reports a maximal run of consecutive memory
+	// instructions that all touched object o while rec was executing.
+	ObjectAccessRun(o *Object, rec *gpu.APIRecord, run []gpu.MemAccess)
+}
+
 // Collector is the online data collector of paper §4: it subscribes to the
 // Sanitizer-analog hooks, intercepts every GPU API, maintains the live
 // memory map M, unwinds call paths, and incrementally builds the
@@ -24,6 +37,9 @@ type Collector struct {
 	mmap     *MemoryMap
 
 	sink AccessSink
+	// batchSink is sink's BatchAccessSink form when it implements one
+	// (resolved once in SetSink, not per batch).
+	batchSink BatchAccessSink
 
 	// hostTrace mirrors gpu.ObjectIDHostTrace: kernel object touches are
 	// reconstructed on the host from the raw access stream instead of from
@@ -58,7 +74,10 @@ func NewCollector() *Collector {
 }
 
 // SetSink installs the intra-object access consumer.
-func (c *Collector) SetSink(s AccessSink) { c.sink = s }
+func (c *Collector) SetSink(s AccessSink) {
+	c.sink = s
+	c.batchSink, _ = s.(BatchAccessSink)
+}
 
 // SetHostTraceMode switches kernel object identification to the host-side
 // reconstruction baseline (must match the device's ObjectIDMode).
@@ -211,28 +230,59 @@ func (c *Collector) attributeRanges(info *APIInfo, rec *gpu.APIRecord) {
 
 // OnAccessBatch implements gpu.Hook: it receives the per-instruction access
 // stream of instrumented kernels, attributes each access to its object and
-// forwards it to the intra-object sink. In host-trace mode it additionally
-// reconstructs the kernel's object touch set (the expensive path the paper's
-// Figure 5 optimization avoids).
+// forwards it to the intra-object sink. Attribution exploits the stream's
+// spatial locality twice: the memory map's last-hit cache short-circuits
+// the per-access binary search, and runs of consecutive accesses landing in
+// the same object are forwarded as one BatchAccessSink call. In host-trace
+// mode it additionally reconstructs the kernel's object touch set (the
+// expensive path the paper's Figure 5 optimization avoids).
 func (c *Collector) OnAccessBatch(rec *gpu.APIRecord, batch []gpu.MemAccess) {
-	for _, a := range batch {
-		if a.Space != gpu.SpaceGlobal {
-			continue
-		}
-		id, ok := c.mmap.Lookup(a.Addr)
-		if !ok {
-			continue
-		}
-		if c.hostTrace {
-			if a.Kind == gpu.AccessRead {
-				c.pendingReads[id] = true
-			} else {
-				c.pendingWrites[id] = true
+	forward := c.sink != nil && rec.Instrumented
+	var runObj *Object
+	runStart := 0
+	for i := range batch {
+		a := &batch[i]
+		var o *Object
+		if a.Space == gpu.SpaceGlobal {
+			if id, ok := c.mmap.Lookup(a.Addr); ok {
+				o = c.trace.Objects[id]
+				if c.hostTrace {
+					if a.Kind == gpu.AccessRead {
+						c.pendingReads[id] = true
+					} else {
+						c.pendingWrites[id] = true
+					}
+				}
 			}
 		}
-		if c.sink != nil && rec.Instrumented {
-			c.sink.ObjectAccess(c.trace.Objects[id], rec, a)
+		if !forward {
+			continue
 		}
+		// Unattributed accesses (o == nil) end the current run; runs must
+		// be pure so the slice handed to the sink contains only accesses of
+		// one object.
+		if o != runObj {
+			c.flushRun(rec, runObj, batch[runStart:i])
+			runObj, runStart = o, i
+		}
+	}
+	if forward {
+		c.flushRun(rec, runObj, batch[runStart:])
+	}
+}
+
+// flushRun forwards one same-object run to the sink: a single call for
+// batch-aware sinks, per-access calls otherwise.
+func (c *Collector) flushRun(rec *gpu.APIRecord, o *Object, run []gpu.MemAccess) {
+	if o == nil || len(run) == 0 {
+		return
+	}
+	if c.batchSink != nil {
+		c.batchSink.ObjectAccessRun(o, rec, run)
+		return
+	}
+	for i := range run {
+		c.sink.ObjectAccess(o, rec, run[i])
 	}
 }
 

@@ -13,6 +13,15 @@ type MemoryMap struct {
 	// entries are live objects sorted by base address. Live allocations
 	// never overlap, so a single sorted slice suffices.
 	entries []mapEntry
+	// cache holds copies of recently-hit entries (zero Size means invalid).
+	// Kernel access streams have strong spatial locality — consecutive
+	// lookups usually hit the same object, and stencil/BLAS streams like
+	// `y[i] += A[i][j] * x[j]` cycle through a handful of operands — so a
+	// few compares against struct-resident ranges replace the binary
+	// search (and its pointer chasing) for most lookups. Filled
+	// round-robin on search hits; invalidated on every Insert/Remove.
+	cache    [4]mapEntry
+	cacheRot uint8
 }
 
 type mapEntry struct {
@@ -33,6 +42,7 @@ func (m *MemoryMap) Insert(id ObjectID, rng gpu.Range) {
 	m.entries = append(m.entries, mapEntry{})
 	copy(m.entries[i+1:], m.entries[i:])
 	m.entries[i] = mapEntry{rng: rng, id: id}
+	m.cache = [4]mapEntry{}
 }
 
 // Remove unregisters the object whose range starts exactly at addr and
@@ -44,16 +54,25 @@ func (m *MemoryMap) Remove(addr gpu.DevicePtr) (ObjectID, bool) {
 	}
 	id := m.entries[i].id
 	m.entries = append(m.entries[:i], m.entries[i+1:]...)
+	m.cache = [4]mapEntry{}
 	return id, true
 }
 
 // Lookup returns the live object containing addr.
 func (m *MemoryMap) Lookup(addr gpu.DevicePtr) (ObjectID, bool) {
+	for i := range m.cache {
+		// A zero-size range contains nothing, so empty slots never match.
+		if m.cache[i].rng.Contains(addr) {
+			return m.cache[i].id, true
+		}
+	}
 	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].rng.Addr > addr })
 	if i == 0 {
 		return 0, false
 	}
 	if m.entries[i-1].rng.Contains(addr) {
+		m.cache[m.cacheRot&3] = m.entries[i-1]
+		m.cacheRot++
 		return m.entries[i-1].id, true
 	}
 	return 0, false

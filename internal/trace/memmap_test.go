@@ -156,20 +156,3 @@ func TestMemoryMapPropertyVsReference(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-// BenchmarkMemoryMapLookup measures the point-lookup hot path with many
-// live objects (every copy/set attribution pays this cost).
-func BenchmarkMemoryMapLookup(b *testing.B) {
-	m := NewMemoryMap()
-	const n = 4096
-	for i := 0; i < n; i++ {
-		m.Insert(ObjectID(i), gpu.Range{Addr: gpu.DevicePtr(i * 1024), Size: 512})
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		addr := gpu.DevicePtr((i * 7919 % n) * 1024)
-		if _, ok := m.Lookup(addr + 13); !ok {
-			b.Fatal("lookup missed a live object")
-		}
-	}
-}
