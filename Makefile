@@ -1,29 +1,44 @@
 GO ?= go
 
-.PHONY: check build test race vet fmt bench
+.PHONY: check build test race vet fmt lint bench
 
 # check is the tier-1 verify gate (see ROADMAP.md): static checks, the
-# full test suite, and the race-enabled run that guards the concurrent
-# offline analysis pipeline.
-check: vet fmt build test race
+# invariant linter suite, the full test suite, and the race-enabled run
+# that guards the concurrent offline analysis pipeline. Steps run in
+# cheapest-first order and fail fast; each announces itself so CI logs
+# show exactly where a red run stopped.
+check: vet fmt build lint test race
+	@echo "== check: all gates passed =="
 
 build:
+	@echo "== build =="
 	$(GO) build ./...
 
 test:
+	@echo "== test =="
 	$(GO) test ./...
 
 race:
+	@echo "== race =="
 	$(GO) test -race ./...
 
 vet:
+	@echo "== vet =="
 	$(GO) vet ./...
 
 fmt:
-	@out="$$(gofmt -l .)"; \
+	@echo "== fmt =="
+	@out="$$(gofmt -s -l .)"; \
 	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# lint runs the drgpum invariant analyzers (mapiter, hookreentry,
+# sharedwrite, simerr) over the whole module. See cmd/drgpum-lint and
+# DESIGN.md "Mechanized invariants".
+lint:
+	@echo "== lint =="
+	$(GO) run ./cmd/drgpum-lint ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...

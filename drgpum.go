@@ -24,7 +24,10 @@
 // Annotate allocations with application-level names so reports speak the
 // program's language:
 //
-//	ptr, _ := dev.Malloc(n)
+//	ptr, err := dev.Malloc(n)
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
 //	prof.Annotate(ptr, "d_data_in1", 4)
 package drgpum
 

@@ -7,17 +7,20 @@
 // functions that perform all memory traffic through an ExecContext:
 //
 //	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
-//	buf, _ := dev.Malloc(4096)
-//	dev.MemcpyHtoD(buf, data, nil)
-//	dev.LaunchFunc(nil, "scale", gpusim.Dim1(4), gpusim.Dim1(256),
+//	buf, err := dev.Malloc(4096)
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
+//	must(dev.MemcpyHtoD(buf, data, nil))
+//	must(dev.LaunchFunc(nil, "scale", gpusim.Dim1(4), gpusim.Dim1(256),
 //	    func(ctx *gpusim.ExecContext) {
 //	        for i := 0; i < 1024; i++ {
 //	            addr := buf + gpusim.DevicePtr(i*4)
 //	            ctx.StoreF32(addr, ctx.LoadF32(addr)*2)
 //	        }
-//	    })
-//	dev.MemcpyDtoH(out, buf, nil)
-//	dev.Free(buf)
+//	    }))
+//	must(dev.MemcpyDtoH(out, buf, nil))
+//	must(dev.Free(buf))
 //
 // A latency/bandwidth cost model makes simulated execution time respond to
 // memory placement (global vs shared) and precision (FP32 vs FP64) the way

@@ -108,7 +108,12 @@ func Export(rep *core.Report, w io.Writer) error {
 			Args: args,
 		})
 	}
+	streamIDs := make([]int, 0, len(streams))
 	for s := range streams {
+		streamIDs = append(streamIDs, s)
+	}
+	sort.Ints(streamIDs)
+	for _, s := range streamIDs {
 		doc.TraceEvents = append(doc.TraceEvents, threadName(pidAPIs, s, fmt.Sprintf("stream %d", s)))
 	}
 

@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"testing"
+
+	"drgpum/internal/lint"
+	"drgpum/internal/lint/linttest"
+)
+
+// Each analyzer runs over its fixture package; // want comments in the
+// fixture pin the positive cases and the absence of comments pins the
+// negative ones (sorted-key iteration, parameter-passed loop index, handled
+// errors, observing-only hooks).
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, lint.MapIter, "./testdata/src/mapiter")
+}
+
+func TestHookReentry(t *testing.T) {
+	linttest.Run(t, lint.HookReentry, "./testdata/src/hookreentry")
+}
+
+func TestSharedWrite(t *testing.T) {
+	linttest.Run(t, lint.SharedWrite, "./testdata/src/sharedwrite")
+}
+
+func TestSimErr(t *testing.T) {
+	linttest.Run(t, lint.SimErr, "./testdata/src/simerr")
+}
+
+func TestByName(t *testing.T) {
+	as, err := lint.ByName([]string{"mapiter", "simerr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0] != lint.MapIter || as[1] != lint.SimErr {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := lint.ByName([]string{"nosuch"}); err == nil {
+		t.Fatal("ByName(nosuch) did not fail")
+	}
+}

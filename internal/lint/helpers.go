@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// moduleePrefix is the module path all scoped package lists are relative to.
+const modulePrefix = "drgpum/"
+
+// inScope reports whether pkgPath falls under one of the module-relative
+// prefixes. Fixture packages (any path containing /testdata/) are always in
+// scope so analyzers can be exercised by linttest regardless of their
+// production scope list.
+func inScope(pkgPath string, prefixes []string) bool {
+	if strings.Contains(pkgPath, "/testdata/") {
+		return true
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(pkgPath, modulePrefix+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent strips index, selector, star and paren layers off an expression
+// and returns the leftmost identifier, or nil (e.g. c.buf[i] -> c).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFunc returns the innermost function declaration or literal whose
+// body contains pos, searching file. It returns the function body, or nil.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil && body.Pos() <= pos && pos < body.End() {
+			best = body // keep innermost: Inspect visits outer first
+		}
+		return true
+	})
+	return best
+}
+
+// isBuiltin reports whether e names the given universe-scope builtin.
+func isBuiltin(pass *Pass, e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := pass.ObjectOf(id)
+	_, isB := obj.(*types.Builtin)
+	return isB
+}
+
+// calleeFunc resolves the called function or method object, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = pass.ObjectOf(fun.Sel)
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// recvNamed returns the receiver's named type (through pointers) of a
+// method object, or nil for plain functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,140 @@
+// Package lint is DrGPUM's invariant linter: a small, dependency-free
+// analysis framework plus the custom analyzers that mechanize the
+// tool-internal contracts the profiler's correctness rests on (see
+// DESIGN.md "Mechanized invariants"):
+//
+//   - mapiter: report/output construction must not depend on Go map
+//     iteration order (the byte-identical-report contract behind the
+//     concurrent offline pipeline);
+//   - hookreentry: Sanitizer-analog hook bodies must never re-enter the
+//     simulator APIs they observe;
+//   - sharedwrite: goroutine bodies must not write into closure-captured
+//     slices or maps except through the parameter-indexed fan-out pattern;
+//   - simerr: error returns of simulator APIs must not be discarded.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf, analysistest-style fixtures) but is built
+// entirely on the standard library: packages are loaded with
+// `go list -deps -export -json` and type-checked against compiler export
+// data, so the linter needs nothing outside the Go toolchain.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports violations through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the checker currently running.
+	Analyzer *Analyzer
+	// Fset maps positions for all parsed files.
+	Fset *token.FileSet
+	// Files are the package's parsed sources (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker facts for Files.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the diagnostics
+// sorted by file, line, column and analyzer name, so output is stable
+// regardless of package load order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// All returns the full invariant suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, HookReentry, SharedWrite, SimErr}
+}
+
+// ByName resolves analyzer names (for -only filters).
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

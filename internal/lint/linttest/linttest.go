@@ -1,0 +1,130 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their diagnostics against // want comments — an analysistest analog for
+// the dependency-free framework in internal/lint.
+//
+// A fixture is an ordinary compilable package under testdata (so the go
+// tool never matches it with ... patterns). Lines that must be flagged
+// carry a comment of the form
+//
+//	x := f() // want `regexp` `another regexp`
+//
+// where each quoted or backquoted string is a regular expression that must
+// match the message of exactly one diagnostic reported on that line.
+// Diagnostics with no matching want comment, and want comments with no
+// matching diagnostic, both fail the test.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"drgpum/internal/lint"
+)
+
+// expectation is one want regexp at a file:line.
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// wantArg matches one double-quoted or backquoted want argument.
+var wantArg = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads the fixture package named by pattern (e.g.
+// "./testdata/src/mapiter") and verifies the analyzer's diagnostics against
+// the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := lint.Load(pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	diags := lint.Run(pkgs, []*lint.Analyzer{a})
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			base := filepath.Base(pkg.Fset.Position(file.Pos()).Filename)
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//") {
+						continue
+					}
+					body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(body, "want ") {
+						continue
+					}
+					line := pkg.Fset.Position(c.Pos()).Line
+					args := wantArg.FindAllStringSubmatch(body[len("want "):], -1)
+					if len(args) == 0 {
+						t.Errorf("%s:%d: malformed want comment: %s", base, line, c.Text)
+						continue
+					}
+					for _, m := range args {
+						raw := m[1]
+						if m[2] != "" {
+							if unq, err := strconv.Unquote(`"` + m[2] + `"`); err == nil {
+								raw = unq
+							} else {
+								raw = m[2]
+							}
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", base, line, raw, err)
+							continue
+						}
+						wants = append(wants, &expectation{file: base, line: line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no %s diagnostic matched want %q", w.file, w.line, a.Name, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmet expectation matching the diagnostic.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	base := filepath.Base(d.Position.Filename)
+	for _, w := range wants {
+		if !w.met && w.file == base && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnose loads a pattern and runs the full suite, returning rendered
+// "file:line analyzer" keys plus full diagnostics — used by the known-bad
+// regression test to pin the exact diagnostic set.
+func Diagnose(t *testing.T, pattern string) ([]string, []lint.Diagnostic) {
+	t.Helper()
+	pkgs, err := lint.Load(pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	diags := lint.Run(pkgs, lint.All())
+	keys := make([]string, len(diags))
+	for i, d := range diags {
+		keys[i] = fmt.Sprintf("%s:%d %s", filepath.Base(d.Position.Filename), d.Position.Line, d.Analyzer)
+	}
+	return keys, diags
+}

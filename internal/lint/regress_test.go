@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"drgpum/internal/lint/linttest"
+)
+
+// TestKnownBadExactSet runs the whole suite over the known-bad fixture and
+// pins the exact diagnostic set. A missed case (analyzer regression) or a
+// new false positive both change the set and fail here.
+func TestKnownBadExactSet(t *testing.T) {
+	keys, diags := linttest.Diagnose(t, "./testdata/src/knownbad")
+
+	want := []string{
+		"knownbad.go:19 mapiter",
+		"knownbad.go:20 mapiter",
+		"knownbad.go:34 hookreentry",
+		"knownbad.go:34 simerr",
+		"knownbad.go:48 sharedwrite",
+		"knownbad.go:57 simerr",
+	}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("diagnostic set mismatch:\n got  %v\n want %v\n full: %v", keys, want, diags)
+	}
+
+	// The suite's output is sorted, so repeated runs are byte-identical —
+	// the same contract the analyzers enforce on the pipeline's reports.
+	wantFragments := []string{
+		"string built inside range over map stats",
+		"append to rows inside range over map stats",
+		"hook OnAPI calls Device.Free",
+		"error returned by Device.Free discarded",
+		"write into closure-captured out inside go func with an index not passed as a parameter",
+		"error returned by Device.Malloc assigned to _",
+	}
+	for i, frag := range wantFragments {
+		if !strings.Contains(diags[i].Message, frag) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, frag)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedWrite flags writes into closure-captured slices and maps inside
+// `go func` bodies — the data-race shape the offline pipeline's fan-out
+// must avoid. The sanctioned pattern (PR 1) is an element write whose index
+// arrives as a parameter of the goroutine's function literal:
+//
+//	for i := range items {
+//	    go func(i int) { out[i] = work(items[i]) }(i)   // ok
+//	}
+//
+// Captured maps are always flagged (map writes are never safe to share),
+// as are appends to captured slices (append moves the header) and element
+// writes whose index is not built from the literal's parameters.
+var SharedWrite = &Analyzer{
+	Name: "sharedwrite",
+	Doc: "flags append/element writes to closure-captured slices or maps in go func bodies " +
+		"unless index-addressed by a parameter (concurrency fan-out contract)",
+	Run: runSharedWrite,
+}
+
+func runSharedWrite(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineBody(pass, lit)
+			return true
+		})
+	}
+}
+
+// checkGoroutineBody inspects one go-statement function literal.
+func checkGoroutineBody(pass *Pass, lit *ast.FuncLit) {
+	params := litParams(pass, lit)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkWriteTarget(pass, lit, params, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWriteTarget(pass, lit, params, x.X)
+		case *ast.CallExpr:
+			// Catches append in assignment and argument position alike —
+			// Inspect visits the CallExpr node either way.
+			checkAppend(pass, lit, x)
+		}
+		return true
+	})
+}
+
+// litParams collects the parameter objects of the function literal.
+func litParams(pass *Pass, lit *ast.FuncLit) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if lit.Type.Params == nil {
+		return params
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.ObjectOf(name); obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+// captured reports whether the expression's root identifier denotes a
+// variable declared outside the function literal.
+func captured(pass *Pass, lit *ast.FuncLit, e ast.Expr) (*ast.Ident, bool) {
+	id := rootIdent(e)
+	if id == nil {
+		return nil, false
+	}
+	obj, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+		return nil, false // parameter or body-local
+	}
+	return id, true
+}
+
+// checkWriteTarget flags element writes into captured slices/arrays/maps.
+func checkWriteTarget(pass *Pass, lit *ast.FuncLit, params map[types.Object]bool, lhs ast.Expr) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	id, isCaptured := captured(pass, lit, ix.X)
+	if !isCaptured {
+		return
+	}
+	baseT := pass.TypeOf(ix.X)
+	if baseT == nil {
+		return
+	}
+	switch baseT.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lhs.Pos(), "write into closure-captured map %s inside go func: map writes are never goroutine-safe; send results over a channel or merge after Wait",
+			id.Name)
+	case *types.Slice, *types.Array, *types.Pointer:
+		if !indexIsParamDerived(pass, params, ix.Index) {
+			pass.Reportf(lhs.Pos(), "write into closure-captured %s inside go func with an index not passed as a parameter: pass the loop index into the literal (out[i] with func(i int))",
+				id.Name)
+		}
+	}
+}
+
+// checkAppend flags append whose destination is captured.
+func checkAppend(pass *Pass, lit *ast.FuncLit, e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) == 0 {
+		return
+	}
+	if id, isCaptured := captured(pass, lit, call.Args[0]); isCaptured {
+		pass.Reportf(call.Pos(), "append to closure-captured slice %s inside go func: append moves the slice header concurrently; preallocate and write out[i], or collect via channel",
+			id.Name)
+	}
+}
+
+// indexIsParamDerived reports whether every variable mentioned in the index
+// expression is a parameter of the goroutine's literal, and at least one
+// parameter appears (a constant index shared by all goroutines is a race).
+func indexIsParamDerived(pass *Pass, params map[types.Object]bool, index ast.Expr) bool {
+	sawParam := false
+	allParams := true
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.ObjectOf(id).(*types.Var)
+		if !ok {
+			return true // constants, functions, package names
+		}
+		if params[obj] {
+			sawParam = true
+		} else {
+			allParams = false
+		}
+		return true
+	})
+	return sawParam && allParams
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simAPIPackages are the simulator surfaces whose error returns encode
+// device faults (OOM, invalid free, out-of-bounds copies). Dropping one
+// silently turns a simulated device fault into downstream corruption.
+var simAPIPackages = map[string]bool{
+	"drgpum/internal/gpu": true,
+	"drgpum/gpusim":       true,
+}
+
+// SimErr flags discarded error returns from gpu/gpusim APIs: calls used as
+// bare statements (including go/defer) and assignments that send the error
+// result to the blank identifier. An explicit `_ =` is still a discard —
+// the contract is that simulator faults are handled or propagated, never
+// dropped.
+var SimErr = &Analyzer{
+	Name: "simerr",
+	Doc:  "flags discarded error returns from gpu/gpusim simulator APIs",
+	Run:  runSimErr,
+}
+
+func runSimErr(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, x.X, "")
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, x.Call, " (in go statement)")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, x.Call, " (in defer)")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// simAPIErrorResults returns the called simulator function and the indices
+// of its error results, or nil if the call is not a simulator API call
+// returning errors.
+func simAPIErrorResults(pass *Pass, e ast.Expr) (*types.Func, []int) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || !simAPIPackages[fn.Pkg().Path()] {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	var errIdx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errIdx = append(errIdx, i)
+		}
+	}
+	if len(errIdx) == 0 {
+		return nil, nil
+	}
+	return fn, errIdx
+}
+
+// checkDiscardedCall flags a statement-position call whose error results
+// all vanish.
+func checkDiscardedCall(pass *Pass, e ast.Expr, ctx string) {
+	if fn, _ := simAPIErrorResults(pass, e); fn != nil {
+		pass.Reportf(e.Pos(), "error returned by %s discarded%s: simulator faults must be handled or propagated",
+			simAPIName(fn), ctx)
+	}
+}
+
+// checkBlankAssign flags `_`-positions that swallow a simulator error, as
+// in `ptr, _ := dev.Malloc(n)`.
+func checkBlankAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	fn, errIdx := simAPIErrorResults(pass, as.Rhs[0])
+	if fn == nil {
+		return
+	}
+	for _, i := range errIdx {
+		if i >= len(as.Lhs) {
+			// Single-value context (e.g. the call is the sole RHS of a
+			// one-to-one assignment): handled only when LHS is blank.
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Lhs[i].Pos(), "error returned by %s assigned to _: simulator faults must be handled or propagated",
+				simAPIName(fn))
+		}
+	}
+}
+
+// simAPIName renders Device.Malloc-style names for methods and plain names
+// for functions.
+func simAPIName(fn *types.Func) string {
+	if named := recvNamed(fn); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

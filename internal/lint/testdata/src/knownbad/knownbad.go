@@ -1,0 +1,59 @@
+// Package knownbad violates every invariant the drgpum-lint suite enforces.
+// The regression test pins the exact diagnostic set produced here; if an
+// analyzer regresses (misses a case or grows a false positive), the set
+// changes and the test fails.
+package knownbad
+
+import (
+	"fmt"
+	"sync"
+
+	"drgpum/internal/gpu"
+)
+
+// report builds output in map-iteration order — two mapiter violations.
+func report(stats map[string]int) []string {
+	var rows []string
+	header := ""
+	for k, v := range stats {
+		header += fmt.Sprintf("%s ", k)
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	return append([]string{header}, rows...)
+}
+
+// leakyHook re-enters the simulator from a callback — one hookreentry
+// violation plus the simerr violation for discarding Free's error.
+type leakyHook struct {
+	dev *gpu.Device
+}
+
+var _ gpu.Hook = (*leakyHook)(nil)
+
+func (h *leakyHook) OnAPI(rec *gpu.APIRecord) {
+	h.dev.Free(rec.Ptr)
+}
+
+func (h *leakyHook) OnAccessBatch(rec *gpu.APIRecord, batch []gpu.MemAccess) {}
+
+// fanOut writes a captured slice with a captured index — one sharedwrite
+// violation.
+func fanOut(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = items[i]
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// alloc drops the Malloc error — one simerr violation.
+func alloc(dev *gpu.Device) gpu.DevicePtr {
+	ptr, _ := dev.Malloc(256)
+	return ptr
+}

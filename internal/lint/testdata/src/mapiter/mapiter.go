@@ -1,0 +1,127 @@
+// Package mapiter is the fixture for the mapiter analyzer: order-sensitive
+// sinks inside map ranges must be flagged; the sorted-key idioms must not.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// unsortedAppend accumulates report rows in map order — flagged.
+func unsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map m`
+	}
+	return out
+}
+
+// stringBuild grows output text in map order — flagged.
+func stringBuild(m map[string]int) string {
+	s := ""
+	for k, v := range m {
+		s += fmt.Sprintf("%s=%d;", k, v) // want `string built inside range over map m`
+	}
+	return s
+}
+
+// builderWrite streams through a strings.Builder in map order — flagged.
+func builderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b.WriteString inside range over map m`
+	}
+	return b.String()
+}
+
+// fprint emits formatted output in map order — flagged.
+func fprint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over map m`
+	}
+}
+
+// chanSend delivers results in map order — flagged.
+func chanSend(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map m`
+	}
+}
+
+// floatSum accumulates a non-associative sum in map order — flagged.
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation inside range over map m`
+	}
+	return total
+}
+
+// sortedKeys is the sanctioned idiom: collect, sort, then iterate — silent.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+// sortSliceAfter uses sort.Slice on collected values — silent.
+func sortSliceAfter(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// sortValues sorts the collected slice, passing them through a sort-named
+// helper (the collector's sortObjectIDs shape) — silent.
+func sortValues(m map[int]bool) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+func sortIDs(ids []int) { sort.Ints(ids) }
+
+// perIterationScratch appends only to a slice local to the loop body —
+// silent (no order can leak across iterations).
+func perIterationScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		n += len(scratch)
+	}
+	return n
+}
+
+// intSum is associative accumulation — silent.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// mapToMap rebuilds another map — insertion order is irrelevant — silent.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package sharedwrite is the fixture for the sharedwrite analyzer: writes
+// into closure-captured slices/maps inside go-func bodies must be flagged
+// unless the element index arrives as a literal parameter.
+package sharedwrite
+
+import "sync"
+
+// fanOutBad indexes the shared slice with a captured variable — flagged.
+func fanOutBad(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = items[i] * 2 // want `write into closure-captured out inside go func with an index not passed as a parameter`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// fanOutGood passes the index as a parameter — the sanctioned shape, silent.
+func fanOutGood(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = items[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// capturedAppend grows a shared slice concurrently — flagged.
+func capturedAppend(items []int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for _, v := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			out = append(out, v*2) // want `append to closure-captured slice out inside go func`
+		}(v)
+	}
+	wg.Wait()
+	return out
+}
+
+// capturedMapWrite writes a shared map concurrently — always flagged, even
+// with a parameter-derived key.
+func capturedMapWrite(items []string) map[string]int {
+	out := make(map[string]int, len(items))
+	var wg sync.WaitGroup
+	for _, k := range items {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			out[k] = len(k) // want `write into closure-captured map out inside go func`
+		}(k)
+	}
+	wg.Wait()
+	return out
+}
+
+// sharedCounter increments one shared element from every goroutine — a
+// constant index is shared by all goroutines, flagged.
+func sharedCounter(n int) int {
+	counts := make([]int, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counts[0]++ // want `write into closure-captured counts inside go func with an index not passed as a parameter`
+		}()
+	}
+	wg.Wait()
+	return counts[0]
+}
+
+// offsetIndex mixes a parameter with a captured offset — not provably
+// disjoint, flagged.
+func offsetIndex(items []int, off int) []int {
+	out := make([]int, 2*len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i+off] = items[i] // want `write into closure-captured out inside go func with an index not passed as a parameter`
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// localsOnly writes only goroutine-local state and reports over a channel —
+// silent.
+func localsOnly(items []int) int {
+	ch := make(chan int, len(items))
+	for _, v := range items {
+		go func(v int) {
+			scratch := make([]int, 0, 4)
+			scratch = append(scratch, v, v*2)
+			sum := 0
+			for _, s := range scratch {
+				sum += s
+			}
+			ch <- sum
+		}(v)
+	}
+	total := 0
+	for range items {
+		total += <-ch
+	}
+	return total
+}

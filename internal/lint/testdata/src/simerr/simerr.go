@@ -1,0 +1,52 @@
+// Package simerr is the fixture for the simerr analyzer: error returns of
+// gpu/gpusim simulator APIs must never be discarded.
+package simerr
+
+import (
+	"log"
+
+	"drgpum/gpusim"
+	"drgpum/internal/gpu"
+)
+
+// discards drops simulator errors in every statement position — flagged.
+func discards(dev *gpu.Device, buf []byte) {
+	ptr, _ := dev.Malloc(64)         // want `error returned by Device.Malloc assigned to _`
+	_ = dev.Memset(ptr, 0, 64, nil)  // want `error returned by Device.Memset assigned to _`
+	dev.MemcpyHtoD(ptr, buf, nil)    // want `error returned by Device.MemcpyHtoD discarded`
+	go dev.MemcpyDtoH(buf, ptr, nil) // want `error returned by Device.MemcpyDtoH discarded \(in go statement\)`
+	defer dev.Free(ptr)              // want `error returned by Device.Free discarded \(in defer\)`
+}
+
+// launchDiscard drops a kernel-launch fault — flagged.
+func launchDiscard(dev *gpu.Device) {
+	dev.LaunchFunc(nil, "k", gpu.Dim1(1), gpu.Dim1(32), func(ctx *gpu.ExecContext) {}) // want `error returned by Device.LaunchFunc discarded`
+}
+
+// facadeDiscard drops an error from the gpusim facade package — flagged.
+func facadeDiscard(start, end *gpusim.Event) {
+	gpusim.EventElapsed(start, end) // want `error returned by EventElapsed discarded`
+}
+
+// handled checks or propagates every simulator error — silent.
+func handled(dev *gpu.Device, buf []byte) error {
+	ptr, err := dev.Malloc(64)
+	if err != nil {
+		return err
+	}
+	if err := dev.MemcpyHtoD(ptr, buf, nil); err != nil {
+		log.Printf("copy failed: %v", err)
+	}
+	return dev.Free(ptr)
+}
+
+// propagated returns the elapsed-time error to the caller — silent.
+func propagated(start, end *gpusim.Event) (uint64, error) {
+	return gpusim.EventElapsed(start, end)
+}
+
+// voidCalls use simulator APIs with no error result — silent.
+func voidCalls(dev *gpu.Device) {
+	dev.Synchronize()
+	_ = dev.Spec()
+}

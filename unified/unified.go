@@ -18,7 +18,10 @@
 //	dev := gpusim.NewDevice(gpusim.SpecA100())
 //	um := unified.NewManager(dev, 4096)
 //	dev.SetPatchLevel(gpusim.PatchFull) // kernel accesses must be visible
-//	buf, _ := um.MallocManaged("state", 64<<10)
+//	buf, err := um.MallocManaged("state", 64<<10)
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
 //	um.HostWrite(buf, data)
 //	// ... kernels on dev touch buf ...
 //	for _, f := range um.Detect() { fmt.Println(f.Kind, f.Suggestion) }
