@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet fmt lint bench
+.PHONY: check build test race vet fmt lint bench cover
 
 # check is the tier-1 verify gate (see ROADMAP.md): static checks, the
 # invariant linter suite, the full test suite, and the race-enabled run
@@ -42,3 +42,11 @@ lint:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# cover runs the test suite with coverage of every package (not just the
+# one under test) and prints the per-function summary. cover.out is
+# .gitignored; open it with `go tool cover -html=cover.out`.
+cover:
+	@echo "== cover =="
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	$(GO) tool cover -func=cover.out | tail -n 1

@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	drgpum-overhead [-repeats N] [-sampling N]
+//	drgpum-overhead [-repeats N] [-sampling N] [-workloads a,b,...]
 package main
 
 import (
 	"flag"
 	"log"
 	"os"
+	"strings"
 
 	"drgpum/internal/gpu"
 	"drgpum/internal/overhead"
@@ -21,12 +22,22 @@ func main() {
 	log.SetPrefix("drgpum-overhead: ")
 	repeats := flag.Int("repeats", 3, "runs per configuration (median kept)")
 	sampling := flag.Int("sampling", 100, "intra-object kernel sampling period")
+	only := flag.String("workloads", "", "comma-separated workload names to measure (default: all)")
 	svgPath := flag.String("svg", "", "also write the figure as an SVG bar chart (the artifact's overhead.pdf analog)")
 	flag.Parse()
 
+	var names []string
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+	}
+
 	rows, err := overhead.Measure(
 		[]gpu.DeviceSpec{gpu.SpecRTX3090(), gpu.SpecA100()},
-		overhead.Options{Repeats: *repeats, SamplingPeriod: *sampling},
+		overhead.Options{Repeats: *repeats, SamplingPeriod: *sampling, Workloads: names},
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -7,9 +7,10 @@
 //
 //	drgpum -workload rodinia/huffman [-variant naive|optimized]
 //	       [-device rtx3090|a100] [-mode object|intra] [-sampling N]
-//	       [-json] [-verbose] [-timeline]
+//	       [-json] [-verbose] [-timeline] [-memcheck]
 //	       [-gui liveness.json] [-html report.html] [-save profile.json]
 //	drgpum -workload polybench/2mm -diff
+//	drgpum -workload memcheck/knownbad -memcheck
 //	drgpum -list
 package main
 
@@ -43,6 +44,7 @@ func main() {
 		savePath = flag.String("save", "", "save the profile for offline re-analysis (drgpum-analyze)")
 		verbose  = flag.Bool("verbose", false, "include call paths and peak object lists")
 		list     = flag.Bool("list", false, "list available workloads and exit")
+		memcheck = flag.Bool("memcheck", false, "attach the memory-safety checker (OOB, use-after-free, uninitialized reads, leaks)")
 		diff     = flag.Bool("diff", false, "profile both variants and summarize the optimization outcome")
 		timeline = flag.Bool("timeline", false, "draw the object-lifetime timeline (the paper's Figure 2 view) after the report")
 	)
@@ -52,9 +54,12 @@ func main() {
 		for _, name := range workloads.Names() {
 			fmt.Println(name)
 		}
+		for _, x := range workloads.Extras() {
+			fmt.Println(x.Name)
+		}
 		return
 	}
-	w, ok := workloads.ByName(*workload)
+	w, ok := workloads.Lookup(*workload)
 	if !ok {
 		log.Fatalf("unknown workload %q; use -list to see the available ones", *workload)
 	}
@@ -94,7 +99,7 @@ func main() {
 		return
 	}
 
-	rep, err := tables.Profile(w, spec, v, level, *sampling)
+	rep, err := tables.ProfileWith(w, spec, v, level, *sampling, tables.ProfileOpts{Memcheck: *memcheck})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,6 +29,12 @@
 //	    log.Fatal(err)
 //	}
 //	prof.Annotate(ptr, "d_data_in1", 4)
+//
+// Setting Config.Memcheck additionally attaches a compute-sanitizer-style
+// memory-safety checker: the allocator gains red zones and a quarantine of
+// freed ranges, and Report.Memcheck lists out-of-bounds accesses,
+// use-after-free, reads of never-written bytes, and unfreed allocations,
+// each with call paths (see examples/memcheck).
 package drgpum
 
 import (

@@ -40,6 +40,13 @@ func repoRoot() string {
 	return filepath.Dir(filepath.Dir(wd)) // internal/clitest -> repo root
 }
 
+// command prepares (but does not start) one built binary, for tests that
+// need the raw process — expected failures, combined output.
+func command(t *testing.T, name string, args ...string) *exec.Cmd {
+	t.Helper()
+	return exec.Command(filepath.Join(binDir, name), args...)
+}
+
 // run executes one built binary and returns its stdout.
 func run(t *testing.T, name string, args ...string) string {
 	t.Helper()

@@ -1,0 +1,57 @@
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every examples/* main program, asserting
+// each exits 0 and prints something. The examples double as documentation;
+// this keeps them compiling and truthful as the API evolves. Each runs
+// from its own temp directory so artifact files (multistream.json, ...)
+// never land in the repo.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example builds in -short mode")
+	}
+	root := repoRoot()
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+
+	exeDir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			exe := filepath.Join(exeDir, name)
+			build := exec.Command("go", "build", "-o", exe, "./examples/"+name)
+			build.Dir = root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+
+			cmd := exec.Command(exe)
+			cmd.Dir = t.TempDir()
+			out, err := cmd.Output()
+			if err != nil {
+				stderr := ""
+				if ee, ok := err.(*exec.ExitError); ok {
+					stderr = string(ee.Stderr)
+				}
+				t.Fatalf("run: %v\n%s", err, stderr)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/trace"
+)
+
+// TestProfilerSurvivesInjectedOOM runs a program under the profiler with a
+// scheduled allocator failure, mirroring how an application would hit
+// cudaErrorMemoryAllocation mid-run: the error reaches the caller exactly
+// once, nothing panics, and Finish still produces a well-formed report
+// covering the APIs that did execute.
+func TestProfilerSurvivesInjectedOOM(t *testing.T) {
+	dev := gpu.NewDevice(gpu.SpecTest())
+	dev.InjectFaults(gpu.FaultPlan{FailAllocs: []uint64{2}})
+	p := Attach(dev, IntraObjectConfig())
+
+	a, err := dev.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Annotate(a, "a", 4)
+	b, err := dev.Malloc(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Annotate(b, "b", 4)
+
+	// The scheduled failure: surfaced to the caller, exactly once, as an
+	// out-of-memory error that names the injection.
+	_, err = dev.Malloc(8192)
+	if !errors.Is(err, gpu.ErrOutOfMemory) {
+		t.Fatalf("injected alloc error = %v, want ErrOutOfMemory", err)
+	}
+	if !strings.Contains(err.Error(), "injected fault at alloc #2") {
+		t.Errorf("error does not name the injection: %v", err)
+	}
+
+	// A retry succeeds (the schedule is per allocation index, not sticky),
+	// so a program with its own OOM recovery keeps running.
+	c, err := dev.Malloc(8192)
+	if err != nil {
+		t.Fatalf("retry after injected fault: %v", err)
+	}
+	p.Annotate(c, "c", 4)
+
+	if err := dev.Memset(a, 0, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.LaunchFunc(nil, "touch", gpu.Dim1(1), gpu.Dim1(32), func(ctx *gpu.ExecContext) {
+		for i := 0; i < 1024; i++ {
+			ctx.StoreU32(c+gpu.DevicePtr(i*4), ctx.LoadU32(a+gpu.DevicePtr(i*4)))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(a); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := p.Finish()
+	if rep == nil {
+		t.Fatal("Finish returned nil after an injected fault")
+	}
+	if got := len(rep.Trace.Objects); got != 3 {
+		t.Errorf("report covers %d objects, want 3 (the successful allocations)", got)
+	}
+	stats := trace.ComputeStats(rep.Trace)
+	if stats.ByKind[gpu.APIMalloc] != 3 {
+		t.Errorf("malloc count = %d, want 3", stats.ByKind[gpu.APIMalloc])
+	}
+
+	var buf bytes.Buffer
+	rep.Render(&buf, true)
+	if !strings.Contains(buf.String(), "DrGPUM report") {
+		t.Errorf("partial report did not render:\n%s", buf.String())
+	}
+	data, err := rep.MarshalJSON()
+	if err != nil {
+		t.Fatalf("partial report JSON: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("partial report JSON malformed: %v", err)
+	}
+}
+
+// TestProfilerMemcheckUnderInjectedOOM combines fault injection with the
+// memory-safety checker: an injected failure must not desynchronize the
+// checker's allocation bookkeeping or invent issues for the program's
+// surviving objects.
+func TestProfilerMemcheckUnderInjectedOOM(t *testing.T) {
+	dev := gpu.NewDevice(gpu.SpecTest())
+	dev.InjectFaults(gpu.FaultPlan{FailAllocs: []uint64{1}})
+	cfg := IntraObjectConfig()
+	cfg.Memcheck = true
+	p := Attach(dev, cfg)
+
+	a, err := dev.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Annotate(a, "a", 4)
+	if _, err := dev.Malloc(512); !errors.Is(err, gpu.ErrOutOfMemory) {
+		t.Fatalf("expected injected OOM, got %v", err)
+	}
+
+	if err := dev.Memset(a, 7, 1024, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(a); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := p.Finish()
+	if rep.Memcheck == nil {
+		t.Fatal("no memcheck section")
+	}
+	if !rep.Memcheck.Clean() {
+		t.Errorf("memcheck invented issues after an injected fault: %+v", rep.Memcheck.Issues)
+	}
+	if rep.Memcheck.Allocs != 1 || rep.Memcheck.Frees != 1 {
+		t.Errorf("memcheck saw %d allocs / %d frees, want 1/1",
+			rep.Memcheck.Allocs, rep.Memcheck.Frees)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"drgpum/internal/depgraph"
 	"drgpum/internal/gpu"
 	"drgpum/internal/intraobj"
+	"drgpum/internal/memcheck"
 	"drgpum/internal/objlevel"
 	"drgpum/internal/pattern"
 	"drgpum/internal/peak"
@@ -43,6 +44,13 @@ type Config struct {
 	ObjectIDMode gpu.ObjectIDMode
 	// DefaultElemSize is assumed for unannotated objects (bytes).
 	DefaultElemSize uint32
+	// Memcheck attaches the memory-safety checker (internal/memcheck) to
+	// the run: the allocator gains red zones and a freed-range quarantine,
+	// and the report gains an out-of-bounds / use-after-free /
+	// uninitialized-read / leak section. Address layout and the allocator's
+	// in-use accounting change under memcheck, so leave it off for the
+	// paper's peak-memory and overhead measurements.
+	Memcheck bool
 	// SequentialAnalysis forces the offline analysis stages to run strictly
 	// sequentially on one goroutine. The default concurrent pipeline is
 	// deterministic (reports are byte-identical either way — the
@@ -79,6 +87,7 @@ type Profiler struct {
 	cfg       Config
 	collector *trace.Collector
 	recorder  *intraobj.Recorder
+	checker   *memcheck.Checker
 }
 
 // Attach hooks a profiler up to the device and enables instrumentation at
@@ -92,6 +101,11 @@ func Attach(dev *gpu.Device, cfg Config) *Profiler {
 		cfg.DefaultElemSize = 4
 	}
 	p := &Profiler{dev: dev, cfg: cfg, collector: trace.NewCollector()}
+	if cfg.Memcheck {
+		// Before anything else: the checker reshapes the allocator (red
+		// zones, quarantine), which must happen before the first allocation.
+		p.checker = memcheck.Attach(dev, memcheck.DefaultConfig())
+	}
 	p.collector.DefaultElemSize = cfg.DefaultElemSize
 	p.collector.SetHostTraceMode(cfg.ObjectIDMode == gpu.ObjectIDHostTrace)
 
@@ -157,6 +171,9 @@ func (p *Profiler) ForceHostAccessMaps() {
 // name and element size (0 keeps the default). It reports whether a live
 // object starts at ptr.
 func (p *Profiler) Annotate(ptr gpu.DevicePtr, label string, elemSize uint32) bool {
+	if p.checker != nil {
+		p.checker.Annotate(ptr, label)
+	}
 	return p.collector.Annotate(ptr, label, elemSize)
 }
 
@@ -253,6 +270,11 @@ func (p *Profiler) analyze() *Report {
 		return findings[i].Pattern < findings[j].Pattern
 	})
 
+	var mc *memcheck.Report
+	if p.checker != nil {
+		mc = p.checker.Report()
+	}
+
 	return &Report{
 		Device:    p.dev.Spec().Name,
 		Trace:     t,
@@ -264,6 +286,7 @@ func (p *Profiler) analyze() *Report {
 		ModeStats: modeStats,
 		Recorder:  p.recorder,
 		Advice:    advice,
+		Memcheck:  mc,
 	}
 }
 

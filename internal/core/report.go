@@ -11,6 +11,7 @@ import (
 	"drgpum/internal/depgraph"
 	"drgpum/internal/gpu"
 	"drgpum/internal/intraobj"
+	"drgpum/internal/memcheck"
 	"drgpum/internal/pattern"
 	"drgpum/internal/peak"
 	"drgpum/internal/trace"
@@ -41,6 +42,8 @@ type Report struct {
 	// Advice is the what-if estimate: the data-object peak the program
 	// would have if every suggestion in Findings were applied.
 	Advice advisor.Estimate
+	// Memcheck is the memory-safety report (nil unless Config.Memcheck).
+	Memcheck *memcheck.Report
 }
 
 // HasPattern reports whether any finding matches the pattern.
@@ -164,6 +167,13 @@ func (r *Report) Render(w io.Writer, verbose bool) {
 				indent(r.Trace.Unwinder.FormatTrimmed(o.AllocPath, "drgpum/internal/gpu.", "drgpum/internal/trace.", "drgpum/internal/core."), "        "))
 		}
 	}
+
+	if r.Memcheck != nil {
+		fmt.Fprintf(w, "\n")
+		// Render only fails when the writer fails, in which case every
+		// Fprintf above already swallowed the same failure.
+		_ = r.Memcheck.Render(w)
+	}
 }
 
 // String renders the non-verbose report.
@@ -242,6 +252,15 @@ type jsonReport struct {
 	// Advice is the what-if estimate of applying every suggestion.
 	AdvicePeak         uint64  `json:"advised_peak_bytes"`
 	AdviceReductionPct float64 `json:"advised_reduction_pct"`
+	// Memcheck summarizes the memory-safety report when one was taken.
+	Memcheck *jsonMemcheck `json:"memcheck,omitempty"`
+}
+
+// jsonMemcheck is the serialized memory-safety summary.
+type jsonMemcheck struct {
+	Issues       int    `json:"issues"`
+	LeakBytes    uint64 `json:"leak_bytes"`
+	ReadsChecked uint64 `json:"reads_checked"`
 }
 
 // MarshalJSON serializes the report for machine consumption.
@@ -257,6 +276,13 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		GraphString:        r.Graph.String(),
 		AdvicePeak:         r.Advice.EstimatedPeak,
 		AdviceReductionPct: r.Advice.ReductionPct,
+	}
+	if r.Memcheck != nil {
+		jr.Memcheck = &jsonMemcheck{
+			Issues:       len(r.Memcheck.Issues),
+			LeakBytes:    r.Memcheck.LeakBytes,
+			ReadsChecked: r.Memcheck.AccessesChecked,
+		}
 	}
 	for _, p := range r.Peaks.Peaks {
 		jr.PeakTops = append(jr.PeakTops, p.Bytes)

@@ -23,16 +23,29 @@ const allocBase DevicePtr = 0x1000_0000
 // block is a live allocation.
 type block struct {
 	addr DevicePtr
-	size uint64 // aligned size actually reserved
+	size uint64 // aligned size actually reserved for the caller's bytes
 	req  uint64 // size the caller asked for
 	data []byte // backing bytes (len == req)
 	seq  uint64 // allocation sequence number
+
+	// base/total describe the full reserved span including red zones;
+	// without red zones base == addr and total == size.
+	base  DevicePtr
+	total uint64
 }
 
 // freeSpan is a hole in the address space.
 type freeSpan struct {
 	addr DevicePtr
 	size uint64
+}
+
+// quarantined is a freed allocation parked before its address space is
+// reusable (the memcheck use-after-free window).
+type quarantined struct {
+	span freeSpan // full reserved span, returned to the free list on drain
+	addr DevicePtr
+	req  uint64
 }
 
 // Allocator is a first-fit free-list allocator over a virtual device address
@@ -49,6 +62,20 @@ type Allocator struct {
 	peak      uint64
 	allocSeq  uint64
 	liveCount int
+
+	// redzone is the guard-byte count reserved on each side of every
+	// allocation (0 disables; memcheck enables it so small overflows land
+	// in unmapped guard space instead of a neighboring allocation).
+	redzone uint64
+	// quarantine parks freed spans FIFO until their total bytes exceed
+	// quarMax, delaying address reuse so stale pointers keep faulting.
+	quarantine []quarantined
+	quarBytes  uint64
+	quarMax    uint64
+
+	faultPlan  FaultPlan
+	allocCalls uint64
+	injected   uint64
 }
 
 // NewAllocator creates an allocator managing capacity bytes with the given
@@ -71,30 +98,68 @@ func (a *Allocator) alignUp(n uint64) uint64 {
 	return (n + a.alignment - 1) &^ (a.alignment - 1)
 }
 
+// SetRedzone reserves n guard bytes (rounded up to the alignment) on each
+// side of every subsequent allocation. Red zones are never part of any live
+// range, so accesses spilling past an allocation's end fault instead of
+// silently landing in the next allocation — the substrate of memcheck's
+// out-of-bounds detection. Must be called before the first allocation;
+// mixing red-zoned and plain blocks would make fault attribution ambiguous.
+func (a *Allocator) SetRedzone(n uint64) {
+	if len(a.blocks) > 0 || len(a.quarantine) > 0 {
+		panic("gpu: SetRedzone after allocations exist")
+	}
+	if n > 0 {
+		n = a.alignUp(n)
+	}
+	a.redzone = n
+}
+
+// Redzone returns the per-side guard size in effect (0 when disabled).
+func (a *Allocator) Redzone() uint64 { return a.redzone }
+
+// SetQuarantine bounds the freed-span quarantine at maxBytes of reserved
+// space. Freed allocations are parked FIFO and their addresses stay
+// unmapped until the quarantine overflows, so use-after-free accesses fault
+// instead of hitting whatever reused the space. Zero drains and disables
+// the quarantine.
+func (a *Allocator) SetQuarantine(maxBytes uint64) {
+	a.quarMax = maxBytes
+	a.drainQuarantine()
+}
+
 // Alloc reserves size bytes and returns the base address. A zero-byte request
 // is rounded up to one aligned unit, matching cudaMalloc behaviour of
 // returning a unique pointer.
 func (a *Allocator) Alloc(size uint64) (DevicePtr, error) {
+	index := a.allocCalls
+	a.allocCalls++
+	if a.faultPlan.Enabled() && a.faultPlan.shouldFail(index) {
+		a.injected++
+		return 0, injectedFault(index)
+	}
 	req := size
 	if size == 0 {
 		size = 1
 	}
 	aligned := a.alignUp(size)
+	total := aligned + 2*a.redzone
 	for i, span := range a.free {
-		if span.size < aligned {
+		if span.size < total {
 			continue
 		}
-		addr := span.addr
-		if span.size == aligned {
+		base := span.addr
+		if span.size == total {
 			a.free = append(a.free[:i], a.free[i+1:]...)
 		} else {
-			a.free[i].addr += DevicePtr(aligned)
-			a.free[i].size -= aligned
+			a.free[i].addr += DevicePtr(total)
+			a.free[i].size -= total
 		}
 		a.allocSeq++
-		b := &block{addr: addr, size: aligned, req: req, data: make([]byte, req), seq: a.allocSeq}
+		addr := base + DevicePtr(a.redzone)
+		b := &block{addr: addr, size: aligned, req: req, data: make([]byte, req), seq: a.allocSeq,
+			base: base, total: total}
 		a.insertBlock(b)
-		a.inUse += aligned
+		a.inUse += total
 		a.liveCount++
 		if a.inUse > a.peak {
 			a.peak = a.inUse
@@ -104,7 +169,9 @@ func (a *Allocator) Alloc(size uint64) (DevicePtr, error) {
 	return 0, fmt.Errorf("%w: requested %d bytes, %d of %d in use", ErrOutOfMemory, size, a.inUse, a.capacity)
 }
 
-// Free releases the allocation starting exactly at ptr.
+// Free releases the allocation starting exactly at ptr. With a quarantine
+// configured the span is parked instead of returned to the free list, so
+// its addresses stay unmapped for a while (use-after-free detection).
 func (a *Allocator) Free(ptr DevicePtr) error {
 	i := a.blockIndex(ptr)
 	if i < 0 {
@@ -112,10 +179,28 @@ func (a *Allocator) Free(ptr DevicePtr) error {
 	}
 	b := a.blocks[i]
 	a.blocks = append(a.blocks[:i], a.blocks[i+1:]...)
-	a.inUse -= b.size
+	a.inUse -= b.total
 	a.liveCount--
-	a.insertFree(freeSpan{addr: b.addr, size: b.size})
+	span := freeSpan{addr: b.base, size: b.total}
+	if a.quarMax > 0 {
+		a.quarantine = append(a.quarantine, quarantined{span: span, addr: b.addr, req: b.req})
+		a.quarBytes += b.total
+		a.drainQuarantine()
+		return nil
+	}
+	a.insertFree(span)
 	return nil
+}
+
+// drainQuarantine releases the oldest parked spans until the quarantine
+// fits its budget again (all of them when the quarantine was disabled).
+func (a *Allocator) drainQuarantine() {
+	for len(a.quarantine) > 0 && a.quarBytes > a.quarMax {
+		q := a.quarantine[0]
+		a.quarantine = a.quarantine[1:]
+		a.quarBytes -= q.span.size
+		a.insertFree(q.span)
+	}
 }
 
 // insertBlock keeps blocks sorted by address.
@@ -165,6 +250,39 @@ func (a *Allocator) lookup(addr DevicePtr) *block {
 	return nil
 }
 
+// FindNear returns the live allocation whose reserved span — red zones and
+// alignment padding included — contains addr, reporting the allocation's
+// user range. ok is false when addr is not inside any reserved span.
+// Memcheck classifies a faulting address that lands here as an
+// out-of-bounds access on the returned allocation (the fault machinery
+// already guarantees the address is outside every live user range).
+func (a *Allocator) FindNear(addr DevicePtr) (r Range, ok bool) {
+	i := sort.Search(len(a.blocks), func(i int) bool { return a.blocks[i].base > addr })
+	if i == 0 {
+		return Range{}, false
+	}
+	b := a.blocks[i-1]
+	if addr >= b.base+DevicePtr(b.total) {
+		return Range{}, false
+	}
+	return Range{Addr: b.addr, Size: b.req}, true
+}
+
+// InQuarantine returns the freed allocation whose reserved span contains
+// addr, reporting the allocation's former user range. ok is false when the
+// address is not quarantined. Memcheck classifies a faulting address that
+// lands here as a use-after-free.
+func (a *Allocator) InQuarantine(addr DevicePtr) (r Range, ok bool) {
+	// Linear scan: the quarantine is bounded by SetQuarantine's budget and
+	// this path only runs for faulting accesses, which are exceptional.
+	for _, q := range a.quarantine {
+		if addr >= q.span.addr && addr < q.span.addr+DevicePtr(q.span.size) {
+			return Range{Addr: q.addr, Size: q.req}, true
+		}
+	}
+	return Range{}, false
+}
+
 // AllocStats is a snapshot of allocator accounting.
 type AllocStats struct {
 	// Capacity is the managed address-space size in bytes.
@@ -182,6 +300,11 @@ type AllocStats struct {
 	FreeSpans int
 	// LargestFreeSpan is the biggest allocation that would currently succeed.
 	LargestFreeSpan uint64
+	// QuarantinedBytes is the reserved space parked in the use-after-free
+	// quarantine (0 unless memcheck configured one).
+	QuarantinedBytes uint64
+	// InjectedFaults counts allocations failed by the fault plan.
+	InjectedFaults uint64
 }
 
 // Stats returns a snapshot of the allocator's accounting.
@@ -200,6 +323,8 @@ func (a *Allocator) Stats() AllocStats {
 		TotalAllocations: a.allocSeq,
 		FreeSpans:        len(a.free),
 		LargestFreeSpan:  largest,
+		QuarantinedBytes: a.quarBytes,
+		InjectedFaults:   a.injected,
 	}
 }
 

@@ -1,0 +1,81 @@
+package gpu
+
+import "fmt"
+
+// FaultPlan is a deterministic allocator fault schedule. The simulator's
+// memory-safety and robustness tests use it to exercise failure paths —
+// out-of-memory returns at chosen points — without depending on the device
+// actually filling up. All three selectors compose (an allocation fails if
+// any of them says so), and the schedule is a pure function of the plan and
+// the allocation index, so a given program observes the same failures on
+// every run.
+type FaultPlan struct {
+	// FailAllocs lists 0-based Malloc indices (counting every Alloc call,
+	// including injected failures) that fail with ErrOutOfMemory.
+	FailAllocs []uint64
+	// FailEvery fails every Nth allocation (indices N-1, 2N-1, ...).
+	// Zero disables the selector.
+	FailEvery uint64
+	// FailRate is the probability in [0, 1] that any given allocation
+	// fails, drawn from a hash of Seed and the allocation index —
+	// deterministic per index regardless of how many allocations precede
+	// it. Zero disables the selector.
+	FailRate float64
+	// Seed selects the pseudo-random failure pattern used with FailRate.
+	Seed uint64
+}
+
+// Enabled reports whether the plan can ever inject a failure.
+func (p FaultPlan) Enabled() bool {
+	return len(p.FailAllocs) > 0 || p.FailEvery > 0 || p.FailRate > 0
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective 64-bit mixer with
+// full avalanche, used to derive an independent uniform value per
+// (seed, allocation index) pair without any sequential RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// shouldFail reports whether the plan fails the allocation with the given
+// 0-based index.
+func (p FaultPlan) shouldFail(index uint64) bool {
+	for _, i := range p.FailAllocs {
+		if i == index {
+			return true
+		}
+	}
+	if p.FailEvery > 0 && (index+1)%p.FailEvery == 0 {
+		return true
+	}
+	if p.FailRate > 0 {
+		// Map the hash to [0, 1) with 53 bits of precision (the float64
+		// mantissa), the same construction math/rand uses.
+		u := float64(splitmix64(p.Seed^index)>>11) / (1 << 53)
+		if u < p.FailRate {
+			return true
+		}
+	}
+	return false
+}
+
+// SetFaultPlan installs a deterministic failure schedule consulted by every
+// subsequent Alloc. A zero plan disables injection.
+func (a *Allocator) SetFaultPlan(p FaultPlan) { a.faultPlan = p }
+
+// InjectFaults installs a deterministic allocator failure schedule on the
+// device (see FaultPlan). Scheduled Malloc calls fail with an error
+// wrapping ErrOutOfMemory before touching the allocator, exactly as a full
+// device would report cudaErrorMemoryAllocation.
+func (d *Device) InjectFaults(p FaultPlan) { d.alloc.SetFaultPlan(p) }
+
+// injectedFault builds the error for a scheduled failure. It wraps
+// ErrOutOfMemory so callers' errors.Is checks treat injected and genuine
+// exhaustion identically, while the message keeps the injection visible in
+// logs.
+func injectedFault(index uint64) error {
+	return fmt.Errorf("%w (injected fault at alloc #%d)", ErrOutOfMemory, index)
+}

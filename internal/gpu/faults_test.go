@@ -1,0 +1,268 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultPlanFailAllocs(t *testing.T) {
+	a := NewAllocator(1<<20, 0)
+	a.SetFaultPlan(FaultPlan{FailAllocs: []uint64{1, 3}})
+
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatalf("alloc #0: %v", err)
+	}
+	if _, err := a.Alloc(64); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("alloc #1: got %v, want injected ErrOutOfMemory", err)
+	}
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatalf("alloc #2: %v", err)
+	}
+	if _, err := a.Alloc(64); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("alloc #3: got %v, want injected ErrOutOfMemory", err)
+	}
+	st := a.Stats()
+	if st.InjectedFaults != 2 {
+		t.Errorf("InjectedFaults = %d, want 2", st.InjectedFaults)
+	}
+	if st.LiveAllocations != 2 {
+		t.Errorf("LiveAllocations = %d, want 2 (failed allocs must not reserve)", st.LiveAllocations)
+	}
+}
+
+func TestFaultPlanFailEvery(t *testing.T) {
+	a := NewAllocator(1<<20, 0)
+	a.SetFaultPlan(FaultPlan{FailEvery: 3})
+	var failed []int
+	for i := 0; i < 9; i++ {
+		if _, err := a.Alloc(32); err != nil {
+			failed = append(failed, i)
+		}
+	}
+	want := []int{2, 5, 8}
+	if len(failed) != len(want) {
+		t.Fatalf("failed indices %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("failed indices %v, want %v", failed, want)
+		}
+	}
+}
+
+func TestFaultPlanSeededRateDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		a := NewAllocator(1<<24, 0)
+		a.SetFaultPlan(FaultPlan{FailRate: 0.3, Seed: 42})
+		out := make([]bool, 200)
+		var fails int
+		for i := range out {
+			_, err := a.Alloc(16)
+			out[i] = err != nil
+			if err != nil {
+				fails++
+			}
+		}
+		if fails == 0 || fails == len(out) {
+			t.Fatalf("rate 0.3 produced %d/%d failures", fails, len(out))
+		}
+		return out
+	}
+	p1, p2 := pattern(), pattern()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("seeded failure pattern differs at alloc #%d", i)
+		}
+	}
+}
+
+func TestFaultPlanIndexIndependence(t *testing.T) {
+	// The rate draw must be a pure function of (seed, index): the same
+	// index fails identically whether or not earlier allocations happened.
+	plan := FaultPlan{FailRate: 0.5, Seed: 7}
+	for idx := uint64(0); idx < 64; idx++ {
+		if plan.shouldFail(idx) != plan.shouldFail(idx) {
+			t.Fatalf("shouldFail(%d) is not stable", idx)
+		}
+	}
+}
+
+func TestDeviceInjectFaults(t *testing.T) {
+	d := NewDevice(SpecRTX3090())
+	d.SetPatchLevel(PatchAPI)
+	var records int
+	d.AddHook(hookFunc(func(rec *APIRecord) { records++ }))
+
+	d.InjectFaults(FaultPlan{FailAllocs: []uint64{0}})
+	if _, err := d.Malloc(128); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("injected Malloc: got %v, want ErrOutOfMemory", err)
+	}
+	if records != 0 {
+		t.Errorf("failed Malloc emitted %d API records, want 0", records)
+	}
+	ptr, err := d.Malloc(128)
+	if err != nil {
+		t.Fatalf("second Malloc: %v", err)
+	}
+	if records != 1 {
+		t.Errorf("successful Malloc emitted %d API records, want 1", records)
+	}
+	if err := d.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hookFunc adapts a function to gpu.Hook for tests.
+type hookFunc func(rec *APIRecord)
+
+func (f hookFunc) OnAPI(rec *APIRecord)                  { f(rec) }
+func (f hookFunc) OnAccessBatch(*APIRecord, []MemAccess) {}
+
+func TestRedzoneLayoutAndFindNear(t *testing.T) {
+	a := NewAllocator(1<<20, 256)
+	a.SetRedzone(1) // rounds up to one alignment unit
+	if a.Redzone() != 256 {
+		t.Fatalf("Redzone() = %d, want 256", a.Redzone())
+	}
+
+	p1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(p1)%256 != 0 || uint64(p2)%256 != 0 {
+		t.Errorf("red-zoned pointers not aligned: 0x%x 0x%x", uint64(p1), uint64(p2))
+	}
+	// Layout: [rz][256 user][rz][rz][256 user][rz] — adjacent allocations
+	// are separated by two guard units.
+	if got, want := uint64(p2-p1), uint64(256+2*256); got != want {
+		t.Errorf("allocation stride = %d, want %d", got, want)
+	}
+
+	// One byte past p1's requested size: outside the user range, inside the
+	// reserved span (alignment padding), attributed to p1.
+	if r, ok := a.FindNear(p1 + 100); !ok || r.Addr != p1 || r.Size != 100 {
+		t.Errorf("FindNear(end+0) = %v, %v", r, ok)
+	}
+	// Inside p1's trailing red zone.
+	if r, ok := a.FindNear(p1 + 256 + 10); !ok || r.Addr != p1 {
+		t.Errorf("FindNear(redzone) = %v, %v", r, ok)
+	}
+	// Inside p2's leading red zone.
+	if r, ok := a.FindNear(p2 - 1); !ok || r.Addr != p2 {
+		t.Errorf("FindNear(p2-1) = %v, %v; want attribution to p2", r, ok)
+	}
+	// Far past everything.
+	if _, ok := a.FindNear(p2 + 1<<18); ok {
+		t.Error("FindNear matched a wild address")
+	}
+
+	// lookup must still resolve only the user range.
+	if b := a.lookup(p1 + 99); b == nil || b.addr != p1 {
+		t.Error("lookup lost the user range")
+	}
+	if b := a.lookup(p1 + 100); b != nil {
+		t.Error("lookup resolved past the requested size")
+	}
+}
+
+func TestSetRedzoneAfterAllocPanics(t *testing.T) {
+	a := NewAllocator(1<<20, 0)
+	if _, err := a.Alloc(8); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRedzone after allocation did not panic")
+		}
+	}()
+	a.SetRedzone(64)
+}
+
+func TestQuarantineDelaysReuse(t *testing.T) {
+	a := NewAllocator(1<<20, 256)
+	a.SetQuarantine(4096)
+
+	p1, err := a.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := a.InQuarantine(p1 + 8); !ok || r.Addr != p1 || r.Size != 256 {
+		t.Fatalf("InQuarantine(freed) = %v, %v", r, ok)
+	}
+	if a.Stats().QuarantinedBytes == 0 {
+		t.Error("QuarantinedBytes = 0 after a quarantined free")
+	}
+
+	// The freed address must not be handed out again while quarantined.
+	p2, err := a.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p1 {
+		t.Error("quarantined address was reused immediately")
+	}
+
+	// Overflowing the budget drains the oldest span back to the free list.
+	var frees []DevicePtr
+	for i := 0; i < 20; i++ {
+		p, err := a.Alloc(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frees = append(frees, p)
+	}
+	for _, p := range frees {
+		if err := a.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := a.InQuarantine(p1); ok {
+		t.Error("oldest span still quarantined after budget overflow")
+	}
+	if got := a.Stats().QuarantinedBytes; got > 4096 {
+		t.Errorf("QuarantinedBytes = %d exceeds the 4096 budget", got)
+	}
+
+	// Disabling the quarantine drains everything.
+	a.SetQuarantine(0)
+	if got := a.Stats().QuarantinedBytes; got != 0 {
+		t.Errorf("QuarantinedBytes = %d after disable, want 0", got)
+	}
+}
+
+func TestQuarantinedKernelAccessFaults(t *testing.T) {
+	d := NewDevice(SpecRTX3090())
+	d.Allocator().SetQuarantine(1 << 16)
+	d.SetPatchLevel(PatchAPI)
+
+	ptr, err := d.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(ptr); err != nil {
+		t.Fatal(err)
+	}
+
+	var faults []Fault
+	d.AddHook(hookFunc(func(rec *APIRecord) {
+		if rec.Kind == APIKernel {
+			faults = append(faults, rec.Faults...)
+		}
+	}))
+	err = d.LaunchFunc(nil, "stale_reader", Dim1(1), Dim1(1), func(ctx *ExecContext) {
+		ctx.LoadU32(ptr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 1 || faults[0].Addr != ptr {
+		t.Fatalf("faults = %v, want one at 0x%x", faults, uint64(ptr))
+	}
+}

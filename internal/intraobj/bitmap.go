@@ -99,6 +99,36 @@ func (b *Bitmap) ResetRange(lo, hi int) {
 	b.words[wHi] &^= hiMask
 }
 
+// AllSet reports whether every element in [lo, hi] inclusive is marked.
+// Like SetRange it operates word-at-a-time: partial masks at the edges,
+// full-word compares in between. Out-of-range elements count as unmarked,
+// and an inverted range is vacuously true. Memcheck's uninitialized-read
+// check runs this per kernel read, so it must be O(words).
+func (b *Bitmap) AllSet(lo, hi int) bool {
+	if lo > hi {
+		return true
+	}
+	if lo < 0 || hi >= b.n {
+		return false
+	}
+	wLo, wHi := lo>>6, hi>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - uint(hi)&63)
+	if wLo == wHi {
+		m := loMask & hiMask
+		return b.words[wLo]&m == m
+	}
+	if b.words[wLo]&loMask != loMask {
+		return false
+	}
+	for w := wLo + 1; w < wHi; w++ {
+		if b.words[w] != ^uint64(0) {
+			return false
+		}
+	}
+	return b.words[wHi]&hiMask == hiMask
+}
+
 // Count returns the number of marked elements.
 func (b *Bitmap) Count() int {
 	c := 0

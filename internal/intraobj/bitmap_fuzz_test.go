@@ -1,0 +1,149 @@
+package intraobj
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBitmapRange drives random bitmap-operation sequences against a naive
+// per-element reference model. The word-level edge-mask fast paths
+// (SetRange, ResetRange, AllSet, Contiguous, LargestZeroRun) are easy to
+// get subtly wrong at word boundaries and partial trailing words; the
+// reference model is too slow to ship but trivially correct.
+func FuzzBitmapRange(f *testing.F) {
+	// Seeds cover the interesting shapes: empty ops, a same-word range, a
+	// word-crossing range with a reset hole, and boundary indices around
+	// bit 63/64 on a partial trailing word.
+	f.Add(uint16(0), []byte{})
+	f.Add(uint16(64), []byte{0, 0, 3, 0, 10, 2, 0, 3, 0, 10})
+	f.Add(uint16(200), []byte{
+		0, 0, 5, 0, 190, // set [5,190]
+		1, 0, 64, 0, 64, // reset the single bit 64
+		4, 0, 0, 0, 0, // contiguous?
+		5, 0, 0, 0, 0, // largest zero run
+	})
+	f.Add(uint16(130), []byte{
+		0, 0, 62, 0, 65, // set across the word 0/1 boundary
+		2, 0, 63, 0, 64, // all-set query straddling the boundary
+		3, 0, 129, 0, 0, // set the last valid bit
+		2, 0, 0, 0, 129, // all-set over everything
+	})
+	f.Fuzz(func(t *testing.T, size uint16, ops []byte) {
+		n := int(size) % 2048
+		b := NewBitmap(n)
+		ref := make([]bool, n)
+
+		for len(ops) >= 5 {
+			op := ops[0] % 6
+			lo := int(int16(binary.BigEndian.Uint16(ops[1:3])))
+			hi := int(int16(binary.BigEndian.Uint16(ops[3:5])))
+			ops = ops[5:]
+			switch op {
+			case 0:
+				b.SetRange(lo, hi)
+				refRange(ref, lo, hi, true)
+			case 1:
+				b.ResetRange(lo, hi)
+				refRange(ref, lo, hi, false)
+			case 2:
+				if got, want := b.AllSet(lo, hi), refAllSet(ref, lo, hi); got != want {
+					t.Fatalf("AllSet(%d, %d) = %v, reference says %v", lo, hi, got, want)
+				}
+			case 3:
+				b.Set(lo)
+				if lo >= 0 && lo < n {
+					ref[lo] = true
+				}
+			case 4:
+				if got, want := b.Contiguous(), refContiguous(ref); got != want {
+					t.Fatalf("Contiguous() = %v, reference says %v", got, want)
+				}
+			case 5:
+				if got, want := b.LargestZeroRun(), refLargestZeroRun(ref); got != want {
+					t.Fatalf("LargestZeroRun() = %d, reference says %d", got, want)
+				}
+			}
+		}
+
+		count := 0
+		for i, want := range ref {
+			if b.Get(i) != want {
+				t.Fatalf("Get(%d) = %v, reference says %v", i, b.Get(i), want)
+			}
+			if want {
+				count++
+			}
+		}
+		if b.Count() != count {
+			t.Fatalf("Count() = %d, reference says %d", b.Count(), count)
+		}
+		if b.Empty() != (count == 0) {
+			t.Fatalf("Empty() = %v with %d bits set", b.Empty(), count)
+		}
+		if got, want := b.Contiguous(), refContiguous(ref); got != want {
+			t.Fatalf("final Contiguous() = %v, reference says %v", got, want)
+		}
+		if got, want := b.LargestZeroRun(), refLargestZeroRun(ref); got != want {
+			t.Fatalf("final LargestZeroRun() = %d, reference says %d", got, want)
+		}
+	})
+}
+
+// refRange is the per-element model of SetRange/ResetRange (indices are
+// clamped, inverted ranges are no-ops).
+func refRange(ref []bool, lo, hi int, v bool) {
+	for i := lo; i <= hi; i++ {
+		if i >= 0 && i < len(ref) {
+			ref[i] = v
+		}
+	}
+}
+
+// refAllSet mirrors Bitmap.AllSet: inverted ranges are vacuously true,
+// out-of-range elements count as unmarked.
+func refAllSet(ref []bool, lo, hi int) bool {
+	if lo > hi {
+		return true
+	}
+	if lo < 0 || hi >= len(ref) {
+		return false
+	}
+	for i := lo; i <= hi; i++ {
+		if !ref[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refContiguous is the per-element model of Contiguous.
+func refContiguous(ref []bool) bool {
+	first, last, count := -1, -1, 0
+	for i, v := range ref {
+		if !v {
+			continue
+		}
+		if first == -1 {
+			first = i
+		}
+		last = i
+		count++
+	}
+	return first != -1 && count == last-first+1
+}
+
+// refLargestZeroRun is the per-element model of LargestZeroRun.
+func refLargestZeroRun(ref []bool) int {
+	best, cur := 0, 0
+	for _, v := range ref {
+		if v {
+			cur = 0
+			continue
+		}
+		cur++
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}

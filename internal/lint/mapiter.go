@@ -18,6 +18,7 @@ var mapIterScope = []string{
 	"internal/peak",
 	"internal/objlevel",
 	"internal/intraobj",
+	"internal/memcheck",
 	"internal/overhead",
 	"internal/gui",
 	"internal/trace",

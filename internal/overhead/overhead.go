@@ -61,6 +61,26 @@ type Options struct {
 	// SamplingPeriod is the intra-object kernel sampling period (paper:
 	// 100). Zero means 100.
 	SamplingPeriod int
+	// Workloads restricts measurement to the named workloads, in the given
+	// order. Empty means the full registry (the paper's figure).
+	Workloads []string
+}
+
+// selectWorkloads resolves the Options.Workloads filter against the
+// registry (unregistered extras included).
+func selectWorkloads(names []string) ([]*workloads.Workload, error) {
+	if len(names) == 0 {
+		return workloads.All(), nil
+	}
+	ws := make([]*workloads.Workload, 0, len(names))
+	for _, name := range names {
+		w, ok := workloads.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
 }
 
 // timeRun measures one execution's wall time.
@@ -111,9 +131,13 @@ func Measure(specs []gpu.DeviceSpec, opts Options) ([]Row, error) {
 	if opts.SamplingPeriod <= 0 {
 		opts.SamplingPeriod = 100
 	}
+	ws, err := selectWorkloads(opts.Workloads)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Row
 	for _, spec := range specs {
-		for _, w := range workloads.All() {
+		for _, w := range ws {
 			native, err := medianDuration(w, spec, gpu.PatchNone, 0, opts.Repeats)
 			if err != nil {
 				return nil, fmt.Errorf("%s native: %w", w.Name, err)

@@ -28,10 +28,25 @@ import (
 // (gpu.PatchFull) analysis; at PatchFull the workload's paper whitelist is
 // applied with the given sampling period (<=1 instruments every launch).
 func Profile(w *workloads.Workload, spec gpu.DeviceSpec, v workloads.Variant, level gpu.PatchLevel, sampling int) (*core.Report, error) {
+	return ProfileWith(w, spec, v, level, sampling, ProfileOpts{})
+}
+
+// ProfileOpts carries the optional extras of a profiling run, beyond the
+// paper's standard configuration.
+type ProfileOpts struct {
+	// Memcheck attaches the memory-safety checker; the report gains a
+	// memcheck section. Kernel whitelist and sampling still apply to
+	// intra-object analysis, but memcheck itself observes every kernel.
+	Memcheck bool
+}
+
+// ProfileWith is Profile with extras.
+func ProfileWith(w *workloads.Workload, spec gpu.DeviceSpec, v workloads.Variant, level gpu.PatchLevel, sampling int, opts ProfileOpts) (*core.Report, error) {
 	dev := gpu.NewDevice(spec)
 	cfg := core.DefaultConfig()
 	cfg.Level = level
 	cfg.SamplingPeriod = sampling
+	cfg.Memcheck = opts.Memcheck
 	if level == gpu.PatchFull {
 		cfg.KernelWhitelist = w.IntraKernels
 	}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"drgpum/internal/gpu"
+)
+
+// TestCollectorUnderAllocatorFaults drives the collector through a program
+// whose allocator fails on a deterministic schedule. Failed Mallocs never
+// reach the hook surface, so the trace must contain exactly the successful
+// APIs and the derived statistics must stay consistent — a crash-free
+// partial trace, not a corrupted one.
+func TestCollectorUnderAllocatorFaults(t *testing.T) {
+	dev, c := buildDevice(gpu.PatchAPI)
+	dev.InjectFaults(gpu.FaultPlan{FailEvery: 3}) // indices 2, 5, 8, ... fail
+
+	var ptrs []gpu.DevicePtr
+	oomCount := 0
+	for i := 0; i < 8; i++ {
+		p, err := dev.Malloc(1024)
+		if err != nil {
+			if !errors.Is(err, gpu.ErrOutOfMemory) {
+				t.Fatalf("alloc %d: unexpected error %v", i, err)
+			}
+			oomCount++
+			continue
+		}
+		ptrs = append(ptrs, p)
+	}
+	if oomCount != 2 { // indices 2 and 5 of 0..7
+		t.Fatalf("injected faults observed = %d, want 2", oomCount)
+	}
+
+	// The program continues with the allocations that did succeed.
+	if err := dev.Memset(ptrs[0], 0, 1024, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Free(ptrs[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := c.Trace()
+	if got, want := len(tr.Objects), len(ptrs); got != want {
+		t.Errorf("trace objects = %d, want %d (failed Mallocs must not appear)", got, want)
+	}
+	// APIs: 6 successful mallocs + 1 memset + 1 free.
+	if got, want := len(tr.APIs), len(ptrs)+2; got != want {
+		t.Errorf("trace APIs = %d, want %d", got, want)
+	}
+
+	stats := ComputeStats(tr)
+	if got, want := stats.ByKind[gpu.APIMalloc], len(ptrs); got != want {
+		t.Errorf("malloc count = %d, want %d", got, want)
+	}
+	if stats.AllocBytes != uint64(len(ptrs))*1024 {
+		t.Errorf("AllocBytes = %d", stats.AllocBytes)
+	}
+	if stats.FreedBytes != 1024 {
+		t.Errorf("FreedBytes = %d", stats.FreedBytes)
+	}
+	if got, want := stats.LeakedObjects, len(ptrs)-1; got != want {
+		t.Errorf("LeakedObjects = %d, want %d", got, want)
+	}
+	// The live memory map tracks exactly the unfreed successes.
+	if got, want := c.mmap.Len(), len(ptrs)-1; got != want {
+		t.Errorf("live map entries = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,104 @@
+package workloads
+
+import "drgpum/internal/gpu"
+
+// KnownBad is a workload with planted memory-safety bugs — the validation
+// target for internal/memcheck, the way compute-sanitizer ships a buggy
+// sample. Like Synthetic it is not registered: the paper's Table 1/4
+// harnesses and the memcheck zero-false-positive sweep must never pick it
+// up. The naive variant plants exactly four bugs, one per memcheck class:
+//
+//   - an off-by-one stencil writes one element past the end of "edges";
+//   - "cold" is summed without ever being initialized;
+//   - "scratch" is freed before the kernel that reads it;
+//   - "stash" is never freed.
+//
+// The optimized variant fixes all four and must produce a clean report.
+func KnownBad() *Workload {
+	return &Workload{
+		Name:         "memcheck/knownbad",
+		Domain:       "Memcheck validation",
+		IntraKernels: []string{"knownbad_stencil", "knownbad_cold_sum", "knownbad_stale_sum"},
+		Run:          runKnownBad,
+	}
+}
+
+// knownbadN is the element count of each float32 buffer.
+const knownbadN = 64
+
+func runKnownBad(dev *gpu.Device, host Host, v Variant) error {
+	r := newRunner(dev, host)
+	const n = knownbadN
+
+	edges := r.malloc("edges", n*4, 4)
+	cold := r.malloc("cold", n*4, 4)
+	scratch := r.malloc("scratch", n*4, 4)
+	stash := r.malloc("stash", 4096, 1)
+
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = float32(i%7) - 3
+	}
+	r.h2d(edges, f32bytes(src), nil)
+	r.h2d(scratch, f32bytes(src), nil)
+	r.memset(stash, 0, 4096, nil)
+	if v == VariantOptimized {
+		r.memset(cold, 0, n*4, nil) // bug 2 fix: initialize before reading
+	}
+
+	// Bug 1: the halo cell. The naive stencil runs one element too far and
+	// stores past the end of edges (into what memcheck's red zone guards).
+	limit := n
+	if v == VariantNaive {
+		limit = n + 1
+	}
+	r.launch("knownbad_stencil", nil, gpu.Dim1(1), gpu.Dim1(n), func(ctx *gpu.ExecContext) {
+		for i := 0; i < limit; i++ {
+			addr := edges + gpu.DevicePtr(i*4)
+			var left float32
+			if i > 0 {
+				left = ctx.LoadF32(addr - 4)
+			}
+			ctx.StoreF32(addr, (left+float32(i))/2)
+			ctx.ComputeF32(2)
+		}
+	})
+
+	// Bug 2: sum a buffer the naive variant never initialized.
+	r.launch("knownbad_cold_sum", nil, gpu.Dim1(1), gpu.Dim1(n), func(ctx *gpu.ExecContext) {
+		var sum float32
+		for i := 0; i < n; i++ {
+			sum += ctx.LoadF32(cold + gpu.DevicePtr(i*4))
+		}
+		ctx.StoreF32(edges, sum)
+		ctx.ComputeF32(n)
+	})
+
+	// Bug 3: the naive variant frees scratch before the kernel that reads
+	// it; the quarantine keeps the stale range faulting.
+	if v == VariantNaive {
+		r.free(scratch)
+	}
+	r.launch("knownbad_stale_sum", nil, gpu.Dim1(1), gpu.Dim1(n), func(ctx *gpu.ExecContext) {
+		var sum float32
+		for i := 0; i < n; i++ {
+			sum += ctx.LoadF32(scratch + gpu.DevicePtr(i*4))
+		}
+		ctx.StoreF32(edges+4, sum)
+		ctx.ComputeF32(n)
+	})
+	if v == VariantOptimized {
+		r.free(scratch)
+	}
+
+	out := make([]byte, 8)
+	r.d2h(out, edges, nil)
+
+	// Bug 4: the naive variant leaks stash.
+	r.free(edges)
+	r.free(cold)
+	if v == VariantOptimized {
+		r.free(stash)
+	}
+	return r.Err()
+}

@@ -129,9 +129,30 @@ func Names() []string {
 	return out
 }
 
-// ByName finds a workload.
+// ByName finds a registered workload.
 func ByName(name string) (*Workload, bool) {
 	for _, w := range registry {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// Extras returns the unregistered demonstration workloads — the synthetic
+// kitchen-sink and the planted-bug memcheck target — which every sweep over
+// the paper's table deliberately excludes.
+func Extras() []*Workload {
+	return []*Workload{Synthetic(), KnownBad()}
+}
+
+// Lookup finds a workload by name among the registered set and the extras
+// (the CLI resolves user-supplied names through this).
+func Lookup(name string) (*Workload, bool) {
+	if w, ok := ByName(name); ok {
+		return w, true
+	}
+	for _, w := range Extras() {
 		if w.Name == name {
 			return w, true
 		}
