@@ -16,12 +16,19 @@ import (
 	"testing"
 
 	"drgpum/internal/core"
+	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
 	"drgpum/internal/gui"
 	"drgpum/internal/overhead"
 	"drgpum/internal/tables"
 	"drgpum/internal/workloads"
 )
+
+// freshEngine gives every benchmark iteration its own run engine: the
+// process-wide default engine memoizes profiles, which would turn all
+// iterations after the first into cache lookups and make the numbers
+// meaningless.
+func freshEngine() *engine.Engine { return engine.New(engine.Config{}) }
 
 // printOnce guards the one-time row dumps so repeated bench iterations do
 // not flood the output.
@@ -40,7 +47,7 @@ func BenchmarkTable1PatternMatrix(b *testing.B) {
 	var rows []tables.Table1Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = tables.Table1(gpu.SpecRTX3090())
+		rows, err = tables.Table1With(freshEngine(), gpu.SpecRTX3090())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +66,7 @@ func BenchmarkTable4PeakReduction(b *testing.B) {
 	var rows []tables.Table4Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = tables.Table4()
+		rows, err = tables.Table4With(freshEngine())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,7 +89,7 @@ func BenchmarkTable5Comparison(b *testing.B) {
 	var rows []tables.Table5Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = tables.Table5(gpu.SpecRTX3090())
+		rows, err = tables.Table5With(freshEngine(), gpu.SpecRTX3090())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +111,8 @@ func BenchmarkFigure6Overhead(b *testing.B) {
 	var rows []overhead.Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = overhead.Measure(
+		rows, err = overhead.MeasureWith(
+			freshEngine(),
 			[]gpu.DeviceSpec{gpu.SpecRTX3090(), gpu.SpecA100()},
 			overhead.Options{Repeats: 1, SamplingPeriod: 100},
 		)
@@ -116,6 +124,48 @@ func BenchmarkFigure6Overhead(b *testing.B) {
 	b.ReportMetric(s[0].ObjectGeomean, "objlvl-geomean-x")
 	b.ReportMetric(s[0].IntraGeomean, "intra-geomean-x")
 	oncePerBench(b, func(w io.Writer) { overhead.Render(w, rows) })
+}
+
+// BenchmarkEngineTable1 is the run engine's parallel-vs-sequential pair:
+// the same Table 1 sweep through the worker pool and through the
+// sequential reference scheduling, each iteration on a fresh engine so
+// the cache does not collapse iterations. On a multi-core host the
+// parallel side approaches the longest single profile; at GOMAXPROCS=1
+// the two are at parity (the fan-out only interleaves).
+func BenchmarkEngineTable1(b *testing.B) {
+	run := func(b *testing.B, cfg engine.Config) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tables.Table1With(engine.New(cfg), gpu.SpecRTX3090()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("parallel", func(b *testing.B) { run(b, engine.Config{}) })
+	b.Run("sequential", func(b *testing.B) { run(b, engine.Config{Sequential: true}) })
+}
+
+// BenchmarkEngineTable1ThenTable5 measures the cross-driver memoization
+// win: one iteration regenerates Table 1 and then Table 5 on a shared
+// engine, the way cmd/drgpum-tables and cmd/drgpum-compare share the
+// default engine within a process. Table 5's twelve DrGPUM profiles are
+// exactly Table 1's tuples, so they come from cache and only the
+// baseline-tool runs are fresh work — compare against the sum of
+// BenchmarkTable1PatternMatrix and BenchmarkTable5Comparison, which
+// start cold. The custom metrics surface engine.Stats per iteration.
+func BenchmarkEngineTable1ThenTable5(b *testing.B) {
+	var stats engine.Stats
+	for i := 0; i < b.N; i++ {
+		e := freshEngine()
+		if _, err := tables.Table1With(e, gpu.SpecRTX3090()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tables.Table5With(e, gpu.SpecRTX3090()); err != nil {
+			b.Fatal(err)
+		}
+		stats = e.Stats()
+	}
+	b.ReportMetric(float64(stats.Hits+stats.Dedups), "cache-hits/op")
+	b.ReportMetric(float64(stats.Misses), "fresh-runs/op")
 }
 
 // BenchmarkFigure7GUIExport regenerates Figure 7: the Perfetto trace of

@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	drgpum-compare
+//	drgpum-compare [-j N] [-seq]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
 	"drgpum/internal/tables"
 )
@@ -19,8 +21,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drgpum-compare: ")
+	jobs := flag.Int("j", 0, "max concurrent runs (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run sequentially in submission order (reference scheduling; output is byte-identical either way)")
+	flag.Parse()
 
-	rows, err := tables.Table5(gpu.SpecRTX3090())
+	rows, err := tables.Table5With(engine.New(engine.Config{Workers: *jobs, Sequential: *seq}), gpu.SpecRTX3090())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	drgpum-overhead [-repeats N] [-sampling N] [-workloads a,b,...]
+//	drgpum-overhead [-repeats N] [-sampling N] [-workloads a,b,...] [-j N] [-seq]
+//
+// Overhead runs measure wall clock, so the engine schedules every one of
+// them on its exclusive timed lane regardless of -j — the flags exist so
+// scripts can drive all drgpum-* tools uniformly.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
 	"drgpum/internal/overhead"
 )
@@ -24,6 +29,8 @@ func main() {
 	sampling := flag.Int("sampling", 100, "intra-object kernel sampling period")
 	only := flag.String("workloads", "", "comma-separated workload names to measure (default: all)")
 	svgPath := flag.String("svg", "", "also write the figure as an SVG bar chart (the artifact's overhead.pdf analog)")
+	jobs := flag.Int("j", 0, "max concurrent runs (0 = GOMAXPROCS); timed measurements always execute exclusively")
+	seq := flag.Bool("seq", false, "run sequentially in submission order (reference scheduling)")
 	flag.Parse()
 
 	var names []string
@@ -35,7 +42,8 @@ func main() {
 		}
 	}
 
-	rows, err := overhead.Measure(
+	rows, err := overhead.MeasureWith(
+		engine.New(engine.Config{Workers: *jobs, Sequential: *seq}),
 		[]gpu.DeviceSpec{gpu.SpecRTX3090(), gpu.SpecA100()},
 		overhead.Options{Repeats: *repeats, SamplingPeriod: *sampling, Workloads: names},
 	)

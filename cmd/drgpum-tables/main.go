@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	drgpum-tables [-table 1|4|all]
+//	drgpum-tables [-table 1|4|all] [-j N] [-seq]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
 	"drgpum/internal/tables"
 )
@@ -23,7 +24,11 @@ func main() {
 	log.SetPrefix("drgpum-tables: ")
 	which := flag.String("table", "all", "which table to regenerate: 1, 4 or all")
 	outDir := flag.String("o", "", "also write artifact-style result files (patterns.txt, memory_peak.txt) into this directory")
+	jobs := flag.Int("j", 0, "max concurrent profiling runs (0 = GOMAXPROCS); speedup runs always execute exclusively")
+	seq := flag.Bool("seq", false, "run every profile sequentially in submission order (reference scheduling; output is byte-identical either way)")
 	flag.Parse()
+
+	eng := engine.New(engine.Config{Workers: *jobs, Sequential: *seq})
 
 	results := func(name string, render func(w *os.File)) {
 		if *outDir == "" {
@@ -44,7 +49,7 @@ func main() {
 	}
 
 	if *which == "1" || *which == "all" {
-		rows, err := tables.Table1(gpu.SpecRTX3090())
+		rows, err := tables.Table1With(eng, gpu.SpecRTX3090())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +59,7 @@ func main() {
 		results("patterns.txt", func(w *os.File) { tables.RenderTable1(w, rows) })
 	}
 	if *which == "4" || *which == "all" {
-		rows, err := tables.Table4()
+		rows, err := tables.Table4With(eng)
 		if err != nil {
 			log.Fatal(err)
 		}

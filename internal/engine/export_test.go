@@ -1,0 +1,10 @@
+package engine
+
+// SetTestHooks installs callbacks fired immediately before and after
+// every executed (non-cached) run body, inside the scheduling-lane hold
+// — so a hook observing another run in flight proves the two bodies
+// genuinely overlapped. Test-only: the exclusive-lane regression test
+// uses it to assert that timed runs never overlap anything.
+func (e *Engine) SetTestHooks(start, end func(RunSpec)) {
+	e.hookStart, e.hookEnd = start, end
+}

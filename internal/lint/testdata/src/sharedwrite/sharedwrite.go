@@ -98,6 +98,46 @@ func offsetIndex(items []int, off int) []int {
 	return out
 }
 
+// boundedPool is the run engine's fan-out shape (internal/engine): a
+// semaphore bounds concurrency and each goroutine receives its result
+// index as a parameter — silent.
+func boundedPool(items []int, workers int) []int {
+	out := make([]int, len(items))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range items {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = items[i] * 2
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// stridedPool shards by worker stride: the element index is a body-local
+// loop variable, not a literal parameter. The writes happen to be disjoint,
+// but that is invisible to a per-statement analysis, so the analyzer
+// conservatively flags it — use the boundedPool shape instead.
+func stridedPool(items []int, workers int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(items); i += workers {
+				out[i] = items[i] * 2 // want `write into closure-captured out inside go func with an index not passed as a parameter`
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
 // localsOnly writes only goroutine-local state and reports over a channel —
 // silent.
 func localsOnly(items []int) int {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
 	"drgpum/internal/memcheck"
 	"drgpum/internal/pool"
@@ -146,27 +147,45 @@ var expectedLeaks = map[string]int{
 }
 
 func TestAllWorkloadsZeroFalsePositives(t *testing.T) {
+	// The gate's 24 (workload, variant) cases are independent, so they
+	// fan out through the run engine's worker pool instead of executing
+	// back to back; results come back index-addressed, so the subtests
+	// below still run in the deterministic sweep order.
+	var specs []engine.RunSpec
+	var names []string
 	for _, w := range workloads.All() {
 		for _, v := range []workloads.Variant{workloads.VariantNaive, workloads.VariantOptimized} {
-			w, v := w, v
-			t.Run(fmt.Sprintf("%s/%s", w.Name, v), func(t *testing.T) {
-				rep := runChecked(t, w, v)
-				leaks := 0
-				for _, is := range rep.Issues {
-					if is.Class == memcheck.ClassLeak {
-						leaks++
-						continue
-					}
-					t.Errorf("false positive: %v on %q in kernel %q at 0x%x",
-						is.Class, is.Object.Label, is.Kernel, uint64(is.Addr))
-				}
-				if want := expectedLeaks[fmt.Sprintf("%s/%s", w.Name, v)]; leaks != want {
-					var buf bytes.Buffer
-					_ = rep.Render(&buf)
-					t.Errorf("%d leaks, want %d (by-design set)\n%s", leaks, want, buf.String())
-				}
+			specs = append(specs, engine.RunSpec{
+				Mode:     engine.ModeMemcheck,
+				Workload: w,
+				Spec:     gpu.SpecRTX3090(),
+				Variant:  v,
 			})
+			names = append(names, fmt.Sprintf("%s/%s", w.Name, v))
 		}
+	}
+	results, err := engine.Default().Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		rep := results[i].Memcheck
+		t.Run(names[i], func(t *testing.T) {
+			leaks := 0
+			for _, is := range rep.Issues {
+				if is.Class == memcheck.ClassLeak {
+					leaks++
+					continue
+				}
+				t.Errorf("false positive: %v on %q in kernel %q at 0x%x",
+					is.Class, is.Object.Label, is.Kernel, uint64(is.Addr))
+			}
+			if want := expectedLeaks[names[i]]; leaks != want {
+				var buf bytes.Buffer
+				_ = rep.Render(&buf)
+				t.Errorf("%d leaks, want %d (by-design set)\n%s", leaks, want, buf.String())
+			}
+		})
 	}
 }
 

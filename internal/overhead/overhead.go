@@ -25,7 +25,7 @@ import (
 	"strings"
 	"time"
 
-	"drgpum/internal/core"
+	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
 	"drgpum/internal/workloads"
 )
@@ -83,48 +83,36 @@ func selectWorkloads(names []string) ([]*workloads.Workload, error) {
 	return ws, nil
 }
 
-// timeRun measures one execution's wall time.
-func timeRun(w *workloads.Workload, spec gpu.DeviceSpec, level gpu.PatchLevel, sampling int) (time.Duration, error) {
-	dev := gpu.NewDevice(spec)
-	host := workloads.Host(workloads.NopHost())
-	var prof *core.Profiler
-	start := time.Now()
-	if level != gpu.PatchNone {
-		cfg := core.DefaultConfig()
-		cfg.Level = level
-		cfg.SamplingPeriod = sampling
-		if level == gpu.PatchFull {
-			cfg.KernelWhitelist = w.IntraKernels
-		}
-		prof = core.Attach(dev, cfg)
-		host = prof
-	}
-	if err := w.Run(dev, host, workloads.VariantNaive); err != nil {
-		return 0, err
-	}
-	if prof != nil {
-		// Analysis is part of the profiling cost.
-		_ = prof.Finish()
-	}
-	return time.Since(start), nil
+// medianOf returns the median of the measured durations (the upper
+// middle element, matching the pre-engine measurement loop).
+func medianOf(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }
 
-// medianDuration measures n runs and returns the median.
-func medianDuration(w *workloads.Workload, spec gpu.DeviceSpec, level gpu.PatchLevel, sampling, n int) (time.Duration, error) {
-	ds := make([]time.Duration, 0, n)
-	for i := 0; i < n; i++ {
-		d, err := timeRun(w, spec, level, sampling)
-		if err != nil {
-			return 0, err
-		}
-		ds = append(ds, d)
-	}
-	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-	return ds[len(ds)/2], nil
+// stages are the three patch levels of the figure, in column order.
+var stages = []struct {
+	name  string
+	level gpu.PatchLevel
+}{
+	{"native", gpu.PatchNone},
+	{"object-level", gpu.PatchAPI},
+	{"intra-object", gpu.PatchFull},
 }
 
-// Measure produces the Figure 6 rows for the given device specs.
+// Measure produces the Figure 6 rows for the given device specs on the
+// shared run engine; see MeasureWith.
 func Measure(specs []gpu.DeviceSpec, opts Options) ([]Row, error) {
+	return MeasureWith(engine.Default(), specs, opts)
+}
+
+// MeasureWith is Measure on a caller-supplied engine. Every run here is
+// a wall-clock measurement, so every spec is submitted Timed: the engine
+// serializes them on its exclusive lane (no concurrent neighbors skew
+// the medians, even when untimed work from another driver is in flight)
+// and never caches or deduplicates them — each repeat really runs.
+func MeasureWith(e *engine.Engine, specs []gpu.DeviceSpec, opts Options) ([]Row, error) {
 	if opts.Repeats <= 0 {
 		opts.Repeats = 3
 	}
@@ -135,27 +123,56 @@ func Measure(specs []gpu.DeviceSpec, opts Options) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Row
+	var rs []engine.RunSpec
 	for _, spec := range specs {
 		for _, w := range ws {
-			native, err := medianDuration(w, spec, gpu.PatchNone, 0, opts.Repeats)
-			if err != nil {
-				return nil, fmt.Errorf("%s native: %w", w.Name, err)
+			for _, st := range stages {
+				mode := engine.ModeProfile
+				sampling := 0
+				if st.level == gpu.PatchNone {
+					mode = engine.ModeNative
+				} else if st.level == gpu.PatchFull {
+					sampling = opts.SamplingPeriod
+				}
+				for r := 0; r < opts.Repeats; r++ {
+					rs = append(rs, engine.RunSpec{
+						Mode:     mode,
+						Workload: w,
+						Spec:     spec,
+						Variant:  workloads.VariantNaive,
+						Level:    st.level,
+						Sampling: sampling,
+						Opts:     engine.RunOpts{Timed: true},
+					})
+				}
 			}
-			object, err := medianDuration(w, spec, gpu.PatchAPI, 0, opts.Repeats)
-			if err != nil {
-				return nil, fmt.Errorf("%s object-level: %w", w.Name, err)
-			}
-			intra, err := medianDuration(w, spec, gpu.PatchFull, opts.SamplingPeriod, opts.Repeats)
-			if err != nil {
-				return nil, fmt.Errorf("%s intra-object: %w", w.Name, err)
+		}
+	}
+	results, _ := e.Run(rs)
+
+	var rows []Row
+	idx := 0
+	for _, spec := range specs {
+		for _, w := range ws {
+			var medians [3]time.Duration
+			for si, st := range stages {
+				ds := make([]time.Duration, 0, opts.Repeats)
+				for r := 0; r < opts.Repeats; r++ {
+					res := results[idx]
+					idx++
+					if res.Err != nil {
+						return nil, fmt.Errorf("%s: %w", st.name, res.Err)
+					}
+					ds = append(ds, res.Wall)
+				}
+				medians[si] = medianOf(ds)
 			}
 			row := Row{
 				Program:  w.Name,
 				Device:   spec.Name,
-				NativeNs: native.Nanoseconds(),
-				ObjectNs: object.Nanoseconds(),
-				IntraNs:  intra.Nanoseconds(),
+				NativeNs: medians[0].Nanoseconds(),
+				ObjectNs: medians[1].Nanoseconds(),
+				IntraNs:  medians[2].Nanoseconds(),
 			}
 			if row.NativeNs > 0 {
 				row.ObjectOverhead = float64(row.ObjectNs) / float64(row.NativeNs)

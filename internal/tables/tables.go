@@ -16,8 +16,8 @@ import (
 	"io"
 	"strings"
 
-	"drgpum/internal/baselines"
 	"drgpum/internal/core"
+	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
 	"drgpum/internal/pattern"
 	"drgpum/internal/workloads"
@@ -27,6 +27,10 @@ import (
 // report. level selects object-level (gpu.PatchAPI) or intra-object
 // (gpu.PatchFull) analysis; at PatchFull the workload's paper whitelist is
 // applied with the given sampling period (<=1 instruments every launch).
+//
+// Profile goes through the shared run engine, so a tuple already profiled
+// anywhere in the process (a table sweep, another Profile call) is served
+// from the memoized cache; treat the returned report as read-only.
 func Profile(w *workloads.Workload, spec gpu.DeviceSpec, v workloads.Variant, level gpu.PatchLevel, sampling int) (*core.Report, error) {
 	return ProfileWith(w, spec, v, level, sampling, ProfileOpts{})
 }
@@ -42,29 +46,36 @@ type ProfileOpts struct {
 
 // ProfileWith is Profile with extras.
 func ProfileWith(w *workloads.Workload, spec gpu.DeviceSpec, v workloads.Variant, level gpu.PatchLevel, sampling int, opts ProfileOpts) (*core.Report, error) {
-	dev := gpu.NewDevice(spec)
-	cfg := core.DefaultConfig()
-	cfg.Level = level
-	cfg.SamplingPeriod = sampling
-	cfg.Memcheck = opts.Memcheck
-	if level == gpu.PatchFull {
-		cfg.KernelWhitelist = w.IntraKernels
+	res, err := engine.Default().Run([]engine.RunSpec{{
+		Workload: w,
+		Spec:     spec,
+		Variant:  v,
+		Level:    level,
+		Sampling: sampling,
+		Opts:     engine.RunOpts{Memcheck: opts.Memcheck},
+	}})
+	if err != nil {
+		return nil, err
 	}
-	prof := core.Attach(dev, cfg)
-	if err := w.Run(dev, prof, v); err != nil {
-		return nil, fmt.Errorf("%s (%s): %w", w.Name, v, err)
-	}
-	return prof.Finish(), nil
+	return res[0].Report, nil
 }
 
 // RunNative executes a workload variant with no instrumentation and
-// returns the simulated device time in cycles.
+// returns the simulated device time in cycles. Native runs back the
+// paper's speedup columns, so they take the engine's exclusive timed
+// lane and are never cached.
 func RunNative(w *workloads.Workload, spec gpu.DeviceSpec, v workloads.Variant) (uint64, error) {
-	dev := gpu.NewDevice(spec)
-	if err := w.Run(dev, workloads.NopHost(), v); err != nil {
-		return 0, fmt.Errorf("%s (%s): %w", w.Name, v, err)
+	res, err := engine.Default().Run([]engine.RunSpec{{
+		Mode:     engine.ModeNative,
+		Workload: w,
+		Spec:     spec,
+		Variant:  v,
+		Opts:     engine.RunOpts{Timed: true},
+	}})
+	if err != nil {
+		return 0, err
 	}
-	return dev.Elapsed(), nil
+	return res[0].Cycles, nil
 }
 
 // Table1Row is one program's detected pattern set.
@@ -85,15 +96,34 @@ func (r Table1Row) Has(p pattern.Pattern) bool {
 
 // Table1 profiles every workload's naive variant at intra-object
 // granularity (full sampling, the paper's per-workload kernel whitelist)
-// and returns the pattern matrix.
+// and returns the pattern matrix. It runs on the shared engine; see
+// Table1With.
 func Table1(spec gpu.DeviceSpec) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, w := range workloads.All() {
-		rep, err := Profile(w, spec, workloads.VariantNaive, gpu.PatchFull, 1)
-		if err != nil {
-			return nil, err
+	return Table1With(engine.Default(), spec)
+}
+
+// Table1With is Table1 on a caller-supplied engine: the twelve profiles
+// fan out over the engine's worker pool and rows come back in Table 1
+// order regardless of completion order.
+func Table1With(e *engine.Engine, spec gpu.DeviceSpec) ([]Table1Row, error) {
+	ws := workloads.All()
+	specs := make([]engine.RunSpec, len(ws))
+	for i, w := range ws {
+		specs[i] = engine.RunSpec{
+			Workload: w,
+			Spec:     spec,
+			Variant:  workloads.VariantNaive,
+			Level:    gpu.PatchFull,
+			Sampling: 1,
 		}
-		rows = append(rows, Table1Row{Program: w.Name, Patterns: rep.PatternSet()})
+	}
+	results, err := e.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, len(ws))
+	for i, w := range ws {
+		rows[i] = Table1Row{Program: w.Name, Patterns: results[i].Report.PatternSet()}
 	}
 	return rows, nil
 }
@@ -146,19 +176,63 @@ type Table4Row struct {
 
 // Table4 runs every workload in both variants and computes peak reductions
 // (on the RTX 3090 spec; the paper notes reductions are identical across
-// devices) and speedups (on both specs).
+// devices) and speedups (on both specs). It runs on the shared engine;
+// see Table4With.
 func Table4() ([]Table4Row, error) {
+	return Table4With(engine.Default())
+}
+
+// Table4With is Table4 on a caller-supplied engine. The 24 peak-reduction
+// profiles fan out over the worker pool; the speedup rows measure
+// execution time, so their native runs go through the engine's exclusive
+// timed lane, one at a time with no concurrent neighbors.
+func Table4With(e *engine.Engine) ([]Table4Row, error) {
 	specs := []gpu.DeviceSpec{gpu.SpecRTX3090(), gpu.SpecA100()}
+	ws := workloads.All()
+	variants := []workloads.Variant{workloads.VariantNaive, workloads.VariantOptimized}
+
+	profSpecs := make([]engine.RunSpec, 0, 2*len(ws))
+	for _, w := range ws {
+		for _, v := range variants {
+			profSpecs = append(profSpecs, engine.RunSpec{
+				Workload: w,
+				Spec:     specs[0],
+				Variant:  v,
+				Level:    gpu.PatchAPI,
+				Sampling: 1,
+			})
+		}
+	}
+	var natSpecs []engine.RunSpec
+	for _, w := range ws {
+		if !perfWorkloads[w.Name] {
+			continue
+		}
+		for _, spec := range specs {
+			for _, v := range variants {
+				natSpecs = append(natSpecs, engine.RunSpec{
+					Mode:     engine.ModeNative,
+					Workload: w,
+					Spec:     spec,
+					Variant:  v,
+					Opts:     engine.RunOpts{Timed: true},
+				})
+			}
+		}
+	}
+	profRes, err := e.Run(profSpecs)
+	if err != nil {
+		return nil, err
+	}
+	natRes, err := e.Run(natSpecs)
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []Table4Row
-	for _, w := range workloads.All() {
-		naive, err := Profile(w, specs[0], workloads.VariantNaive, gpu.PatchAPI, 1)
-		if err != nil {
-			return nil, err
-		}
-		opt, err := Profile(w, specs[0], workloads.VariantOptimized, gpu.PatchAPI, 1)
-		if err != nil {
-			return nil, err
-		}
+	perfSeen := 0
+	for wi, w := range ws {
+		naive, opt := profRes[2*wi].Report, profRes[2*wi+1].Report
 		row := Table4Row{
 			Program:   w.Name,
 			Domain:    w.Domain,
@@ -170,15 +244,10 @@ func Table4() ([]Table4Row, error) {
 			row.ReductionPct = float64(row.NaivePeak-row.OptPeak) / float64(row.NaivePeak) * 100
 		}
 		if row.Perf {
-			for i, spec := range specs {
-				tn, err := RunNative(w, spec, workloads.VariantNaive)
-				if err != nil {
-					return nil, err
-				}
-				to, err := RunNative(w, spec, workloads.VariantOptimized)
-				if err != nil {
-					return nil, err
-				}
+			base := perfSeen * 2 * len(specs)
+			for i := range specs {
+				tn := natRes[base+2*i].Cycles
+				to := natRes[base+2*i+1].Cycles
 				speedup := float64(tn) / float64(to)
 				if i == 0 {
 					row.SpeedupRTX3090 = speedup
@@ -186,6 +255,7 @@ func Table4() ([]Table4Row, error) {
 					row.SpeedupA100 = speedup
 				}
 			}
+			perfSeen++
 		}
 		rows = append(rows, row)
 	}
@@ -222,36 +292,53 @@ type Table5Row struct {
 }
 
 // Table5 runs DrGPUM and both baseline tools over every naive workload and
-// aggregates which patterns each tool's methodology surfaces.
+// aggregates which patterns each tool's methodology surfaces. It runs on
+// the shared engine; see Table5With.
 func Table5(spec gpu.DeviceSpec) ([]Table5Row, error) {
+	return Table5With(engine.Default(), spec)
+}
+
+// Table5With is Table5 on a caller-supplied engine. The DrGPUM profiles
+// use exactly the Table 1 tuples, so on a shared engine they are cache
+// hits; only the baseline runs (their own uninstrumented-by-DrGPUM
+// devices with full per-access visibility) are new work.
+func Table5With(e *engine.Engine, spec gpu.DeviceSpec) ([]Table5Row, error) {
+	ws := workloads.All()
+	specs := make([]engine.RunSpec, 0, 2*len(ws))
+	for _, w := range ws {
+		specs = append(specs, engine.RunSpec{
+			Workload: w,
+			Spec:     spec,
+			Variant:  workloads.VariantNaive,
+			Level:    gpu.PatchFull,
+			Sampling: 1,
+		})
+	}
+	for _, w := range ws {
+		specs = append(specs, engine.RunSpec{
+			Mode:     engine.ModeBaselines,
+			Workload: w,
+			Spec:     spec,
+			Variant:  workloads.VariantNaive,
+		})
+	}
+	results, err := e.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+
 	drgpum := make(map[pattern.Pattern]bool)
 	ve := make(map[pattern.Pattern]bool)
 	cs := make(map[pattern.Pattern]bool)
-
-	for _, w := range workloads.All() {
-		rep, err := Profile(w, spec, workloads.VariantNaive, gpu.PatchFull, 1)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range rep.PatternSet() {
+	for i := range ws {
+		for _, p := range results[i].Report.PatternSet() {
 			drgpum[p] = true
 		}
-
-		// Baselines get their own uninstrumented-by-DrGPUM run with full
-		// per-access visibility.
-		dev := gpu.NewDevice(spec)
-		vex := baselines.NewValueExpert()
-		mc := baselines.NewMemcheck()
-		dev.AddHook(vex)
-		dev.AddHook(mc)
-		dev.SetPatchLevel(gpu.PatchFull)
-		if err := w.Run(dev, workloads.NopHost(), workloads.VariantNaive); err != nil {
-			return nil, fmt.Errorf("%s baselines: %w", w.Name, err)
-		}
-		for _, p := range vex.DetectedPatterns() {
+		bl := results[len(ws)+i].Baselines
+		for _, p := range bl.ValueExpert {
 			ve[p] = true
 		}
-		for _, p := range mc.DetectedPatterns() {
+		for _, p := range bl.ComputeSanitizer {
 			cs[p] = true
 		}
 	}
