@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check build test race vet fmt lint bench cover
+.PHONY: check build test race vet fmt lint api bench cover
 
 # check is the tier-1 verify gate (see ROADMAP.md): static checks, the
-# invariant linter suite, the full test suite, and the race-enabled run
-# that guards the concurrent offline analysis pipeline. Steps run in
-# cheapest-first order and fail fast; each announces itself so CI logs
-# show exactly where a red run stopped.
-check: vet fmt build lint test race
+# invariant linter suite, the public API surface lock, the full test
+# suite, and the race-enabled run that guards the concurrent offline
+# analysis pipeline. Steps run in cheapest-first order and fail fast;
+# each announces itself so CI logs show exactly where a red run stopped.
+check: vet fmt build lint api test race
 	@echo "== check: all gates passed =="
 
 build:
@@ -39,6 +39,13 @@ fmt:
 lint:
 	@echo "== lint =="
 	$(GO) run ./cmd/drgpum-lint ./...
+
+# api diffs the exported surface of the public packages against the
+# api/drgpum.txt lock. Regenerate deliberately with:
+#   $(GO) run ./cmd/drgpum-api -write
+api:
+	@echo "== api =="
+	$(GO) run ./cmd/drgpum-api -check
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...

@@ -1,0 +1,155 @@
+// Command drgpum-api computes the module's public API surface — every
+// exported constant, variable, function, type, method and struct field of
+// the public packages (drgpum, drgpum/gpusim, drgpum/unified) — and locks
+// it against the golden file api/drgpum.txt.
+//
+// Usage:
+//
+//	drgpum-api            print the current surface to stdout
+//	drgpum-api -check     diff the surface against api/drgpum.txt (CI mode)
+//	drgpum-api -write     regenerate api/drgpum.txt
+//
+// make check runs the -check mode, so any change to the public surface
+// shows up as an explicit, reviewable diff of the golden file instead of
+// slipping through silently. Type aliases are expanded (the line records
+// what the alias points at), and methods reached through aliases to
+// internal types are part of the surface — they are what callers can
+// actually invoke.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/types"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"drgpum/internal/lint"
+)
+
+// publicPackages are the import paths whose surface is locked.
+var publicPackages = []string{"drgpum", "drgpum/gpusim", "drgpum/unified"}
+
+const header = `# drgpum public API surface lock.
+# Regenerate with: go run ./cmd/drgpum-api -write
+# Checked by make check: a diff here is a public API change and must be
+# reviewed (and this file regenerated) deliberately.
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drgpum-api: ")
+	check := flag.Bool("check", false, "compare the surface against the golden file and exit 1 on any difference")
+	write := flag.Bool("write", false, "regenerate the golden file")
+	golden := flag.String("golden", "api/drgpum.txt", "golden file path (relative to the module root)")
+	flag.Parse()
+
+	pkgs, err := lint.Load(publicPackages...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := header + strings.Join(surface(pkgs), "\n") + "\n"
+
+	switch {
+	case *write:
+		if err := os.MkdirAll(filepath.Dir(*golden), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*golden, []byte(got), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *golden)
+	case *check:
+		want, err := os.ReadFile(*golden)
+		if err != nil {
+			log.Fatalf("%v (generate it with: go run ./cmd/drgpum-api -write)", err)
+		}
+		if string(want) == got {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "drgpum-api: public API surface differs from", *golden)
+		for _, l := range diffLines(string(want), got) {
+			fmt.Fprintln(os.Stderr, l)
+		}
+		fmt.Fprintln(os.Stderr, "drgpum-api: if the change is intended, run: go run ./cmd/drgpum-api -write")
+		os.Exit(1)
+	default:
+		os.Stdout.WriteString(got)
+	}
+}
+
+// surface renders one sorted, deduplicated line per exported declaration.
+// Types are qualified by full import path so identically named types from
+// different packages cannot collide.
+func surface(pkgs []*lint.Package) []string {
+	qual := func(p *types.Package) string { return p.Path() }
+	seen := map[string]bool{}
+	var lines []string
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			lines = append(lines, s)
+		}
+	}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			add(pkg.Path + ": " + types.ObjectString(obj, qual))
+			tn, ok := obj.(*types.TypeName)
+			if !ok {
+				continue
+			}
+			// The pointer method set includes value-receiver methods, so one
+			// pass covers everything a caller can invoke.
+			ms := types.NewMethodSet(types.NewPointer(tn.Type()))
+			for i := 0; i < ms.Len(); i++ {
+				if m := ms.At(i).Obj(); m.Exported() {
+					add(pkg.Path + ": " + types.ObjectString(m, qual))
+				}
+			}
+			if st, ok := tn.Type().Underlying().(*types.Struct); ok {
+				tname := types.TypeString(tn.Type(), qual)
+				for i := 0; i < st.NumFields(); i++ {
+					if f := st.Field(i); f.Exported() {
+						add(fmt.Sprintf("%s: field %s.%s %s", pkg.Path, tname, f.Name(), types.TypeString(f.Type(), qual)))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// diffLines reports the lines removed from want and added in got, in
+// sorted order — enough to review an API change without a real diff tool.
+func diffLines(want, got string) []string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var out []string
+	for l := range wantSet {
+		if !gotSet[l] {
+			out = append(out, "  - "+l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			out = append(out, "  + "+l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

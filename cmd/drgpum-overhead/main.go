@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	drgpum-overhead [-repeats N] [-sampling N] [-workloads a,b,...] [-j N] [-seq]
+//	drgpum-overhead [-repeats N] [-sampling N] [-workloads a,b,...] [-j N] [-seq] [-stats]
 //
 // Overhead runs measure wall clock, so the engine schedules every one of
 // them on its exclusive timed lane regardless of -j — the flags exist so
@@ -13,12 +13,14 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"strings"
 
 	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
+	"drgpum/internal/obs"
 	"drgpum/internal/overhead"
 )
 
@@ -31,6 +33,7 @@ func main() {
 	svgPath := flag.String("svg", "", "also write the figure as an SVG bar chart (the artifact's overhead.pdf analog)")
 	jobs := flag.Int("j", 0, "max concurrent runs (0 = GOMAXPROCS); timed measurements always execute exclusively")
 	seq := flag.Bool("seq", false, "run sequentially in submission order (reference scheduling)")
+	stats := flag.Bool("stats", false, "print the per-phase self-time breakdown (attach, ingestion, each analyzer) aggregated over every measured run")
 	flag.Parse()
 
 	var names []string
@@ -42,8 +45,12 @@ func main() {
 		}
 	}
 
+	var master *obs.Recorder
+	if *stats {
+		master = obs.New()
+	}
 	rows, err := overhead.MeasureWith(
-		engine.New(engine.Config{Workers: *jobs, Sequential: *seq}),
+		engine.New(engine.Config{Workers: *jobs, Sequential: *seq, Obs: master}),
 		[]gpu.DeviceSpec{gpu.SpecRTX3090(), gpu.SpecA100()},
 		overhead.Options{Repeats: *repeats, SamplingPeriod: *sampling, Workloads: names},
 	)
@@ -51,6 +58,10 @@ func main() {
 		log.Fatal(err)
 	}
 	overhead.Render(os.Stdout, rows)
+	if *stats {
+		fmt.Println()
+		master.Snapshot().WriteText(os.Stdout, true)
+	}
 
 	if *svgPath != "" {
 		f, err := os.Create(*svgPath)

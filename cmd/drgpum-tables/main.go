@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	drgpum-tables [-table 1|4|all] [-j N] [-seq]
+//	drgpum-tables [-table 1|4|all] [-j N] [-seq] [-stats]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
+	"drgpum/internal/obs"
 	"drgpum/internal/tables"
 )
 
@@ -26,9 +27,14 @@ func main() {
 	outDir := flag.String("o", "", "also write artifact-style result files (patterns.txt, memory_peak.txt) into this directory")
 	jobs := flag.Int("j", 0, "max concurrent profiling runs (0 = GOMAXPROCS); speedup runs always execute exclusively")
 	seq := flag.Bool("seq", false, "run every profile sequentially in submission order (reference scheduling; output is byte-identical either way)")
+	stats := flag.Bool("stats", false, "print the engine's aggregated self-observability (phases with wall time, counters) after the tables")
 	flag.Parse()
 
-	eng := engine.New(engine.Config{Workers: *jobs, Sequential: *seq})
+	var master *obs.Recorder
+	if *stats {
+		master = obs.New()
+	}
+	eng := engine.New(engine.Config{Workers: *jobs, Sequential: *seq, Obs: master})
 
 	results := func(name string, render func(w *os.File)) {
 		if *outDir == "" {
@@ -66,5 +72,9 @@ func main() {
 		fmt.Println("Table 4: peak memory reductions and speedups guided by DrGPUM")
 		tables.RenderTable4(os.Stdout, rows)
 		results("memory_peak.txt", func(w *os.File) { tables.RenderTable4(w, rows) })
+	}
+	if *stats {
+		fmt.Println()
+		master.Snapshot().WriteText(os.Stdout, true)
 	}
 }

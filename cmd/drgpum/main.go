@@ -7,7 +7,7 @@
 //
 //	drgpum -workload rodinia/huffman [-variant naive|optimized]
 //	       [-device rtx3090|a100] [-mode object|intra] [-sampling N]
-//	       [-json] [-verbose] [-timeline] [-memcheck]
+//	       [-json] [-verbose] [-timeline] [-memcheck] [-stats]
 //	       [-gui liveness.json] [-html report.html] [-save profile.json]
 //	drgpum -workload polybench/2mm -diff
 //	drgpum -workload memcheck/knownbad -memcheck
@@ -22,8 +22,10 @@ import (
 	"strings"
 
 	"drgpum/internal/core"
+	"drgpum/internal/engine"
 	"drgpum/internal/gpu"
 	"drgpum/internal/gui"
+	"drgpum/internal/obs"
 	"drgpum/internal/tables"
 	"drgpum/internal/workloads"
 )
@@ -45,6 +47,7 @@ func main() {
 		verbose  = flag.Bool("verbose", false, "include call paths and peak object lists")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 		memcheck = flag.Bool("memcheck", false, "attach the memory-safety checker (OOB, use-after-free, uninitialized reads, leaks)")
+		stats    = flag.Bool("stats", false, "enable self-observability and print the profiler's own phase/counter summary after the report")
 		diff     = flag.Bool("diff", false, "profile both variants and summarize the optimization outcome")
 		timeline = flag.Bool("timeline", false, "draw the object-lifetime timeline (the paper's Figure 2 view) after the report")
 	)
@@ -99,9 +102,28 @@ func main() {
 		return
 	}
 
-	rep, err := tables.ProfileWith(w, spec, v, level, *sampling, tables.ProfileOpts{Memcheck: *memcheck})
-	if err != nil {
-		log.Fatal(err)
+	var rep *core.Report
+	var err error
+	if *stats {
+		// Self-observability runs on a private engine with a master
+		// recorder; the report carries its own run-local snapshot.
+		res, rerr := engine.New(engine.Config{Obs: obs.New()}).Run([]engine.RunSpec{{
+			Workload: w,
+			Spec:     spec,
+			Variant:  v,
+			Level:    level,
+			Sampling: *sampling,
+			Opts:     engine.RunOpts{Memcheck: *memcheck},
+		}})
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		rep = res[0].Report
+	} else {
+		rep, err = tables.ProfileWith(w, spec, v, level, *sampling, tables.ProfileOpts{Memcheck: *memcheck})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *jsonOut {
@@ -116,6 +138,12 @@ func main() {
 		if *timeline {
 			fmt.Println()
 			rep.RenderTimeline(os.Stdout)
+		}
+		if *stats {
+			fmt.Println()
+			if err := rep.Export(os.Stdout, core.FormatStats); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 

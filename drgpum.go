@@ -15,10 +15,18 @@
 // Minimal usage:
 //
 //	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
-//	prof := drgpum.Attach(dev, drgpum.IntraObjectConfig())
+//	prof := drgpum.New(dev, drgpum.WithIntraObject())
 //	// ... run GPU work on dev ...
 //	report := prof.Finish()
-//	report.Render(os.Stdout, true)
+//	report.Export(os.Stdout, drgpum.FormatText)
+//
+// New is the one constructor; functional options select granularity and
+// extras (drgpum.WithMemcheck, drgpum.WithObservability,
+// drgpum.WithThresholds, ...), and Report.Export is the one exporter
+// behind every output format (text, Perfetto GUI JSON, HTML, saved
+// profile, self-observability stats). Attach, DefaultConfig,
+// IntraObjectConfig, ExportGUI and ExportHTML remain as thin wrappers
+// over the same paths.
 //
 // The profiler must be attached before the monitored GPU activity starts.
 // Annotate allocations with application-level names so reports speak the
@@ -42,7 +50,10 @@ import (
 
 	"drgpum/internal/core"
 	"drgpum/internal/gpu"
-	"drgpum/internal/gui"
+	_ "drgpum/internal/gui" // registers the GUI and HTML exporters
+	"drgpum/internal/intraobj"
+	"drgpum/internal/objlevel"
+	"drgpum/internal/obs"
 	"drgpum/internal/pattern"
 	"drgpum/internal/pool"
 )
@@ -81,9 +92,136 @@ const (
 // AllPatterns returns every pattern in table order.
 func AllPatterns() []Pattern { return pattern.All() }
 
+// ObjLevelThresholds holds the object-level detector thresholds
+// (Config.ObjLevel). See objlevel.Config.
+type ObjLevelThresholds = objlevel.Config
+
+// IntraObjThresholds holds the intra-object detector thresholds
+// (Config.IntraObj). See intraobj.Config.
+type IntraObjThresholds = intraobj.Config
+
+// Observer is a self-observability recorder (internal/obs): phase spans,
+// counters and deterministic snapshots of what the profiler itself did.
+// Create one with NewObserver, install it with WithObserver (or let
+// WithObservability create one), and read it back via
+// Profiler.Observability, Report.Obs or Report.Stats.
+type Observer = obs.Recorder
+
+// ObsSnapshot is a point-in-time, JSON-marshalable view of an Observer.
+type ObsSnapshot = obs.Snapshot
+
+// NewObserver returns an enabled self-observability recorder.
+func NewObserver() *Observer { return obs.New() }
+
+// Format selects a Report.Export output format.
+type Format = core.Format
+
+// The report export formats.
+const (
+	// FormatText is the human-readable report (Report.Render).
+	FormatText = core.FormatText
+	// FormatGUI is the Perfetto/Chrome-trace JSON export (ExportGUI).
+	FormatGUI = core.FormatGUI
+	// FormatHTML is the self-contained HTML report (ExportHTML).
+	FormatHTML = core.FormatHTML
+	// FormatProfile is the saved profile AnalyzeProfile re-reads
+	// (Report.SaveProfile).
+	FormatProfile = core.FormatProfile
+	// FormatStats is the self-observability summary (Report.Stats).
+	FormatStats = core.FormatStats
+)
+
+// Option configures New. Options apply in order over DefaultConfig, so a
+// later option overrides an earlier one; for full manual control start
+// from WithConfig and layer adjustments after it.
+type Option func(*Config)
+
+// New attaches a profiler to the device, configured by the given options
+// over DefaultConfig. It is the package's one constructor — Attach is
+// New(dev, WithConfig(cfg)). Call it before the monitored GPU activity
+// starts.
+func New(dev *gpu.Device, opts ...Option) *Profiler {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return core.Attach(dev, cfg)
+}
+
+// WithConfig replaces the whole configuration (the escape hatch for
+// callers holding a prepared Config). Later options still apply on top.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithIntraObject raises instrumentation to intra-object granularity:
+// kernels are patched so every memory instruction feeds the per-object
+// bitmaps and frequency maps (IntraObjectConfig's granularity).
+func WithIntraObject() Option {
+	return func(c *Config) { c.Level = gpu.PatchFull }
+}
+
+// WithObjectLevel lowers instrumentation back to object-level granularity
+// (the DefaultConfig granularity; useful after WithConfig).
+func WithObjectLevel() Option {
+	return func(c *Config) { c.Level = gpu.PatchAPI }
+}
+
+// WithMemcheck attaches the memory-safety checker to the run (see
+// Config.Memcheck).
+func WithMemcheck() Option {
+	return func(c *Config) { c.Memcheck = true }
+}
+
+// WithObservability enables self-observability with a fresh recorder (see
+// Config.Obs); read it back via Profiler.Observability or Report.Stats.
+func WithObservability() Option {
+	return func(c *Config) { c.Obs = obs.New() }
+}
+
+// WithObserver installs a caller-owned self-observability recorder, e.g.
+// one shared across several profilers to aggregate them.
+func WithObserver(rec *Observer) Option {
+	return func(c *Config) { c.Obs = rec }
+}
+
+// WithThresholds replaces both detector threshold sets.
+func WithThresholds(objLevel ObjLevelThresholds, intraObj IntraObjThresholds) Option {
+	return func(c *Config) {
+		c.ObjLevel = objLevel
+		c.IntraObj = intraObj
+	}
+}
+
+// WithTopPeaks sets how many memory peaks the analyzer reports (paper: 2).
+func WithTopPeaks(n int) Option {
+	return func(c *Config) { c.TopPeaks = n }
+}
+
+// WithSamplingPeriod instruments every Nth launch of each kernel for
+// intra-object analysis (paper §5.5; values <= 1 instrument every launch).
+func WithSamplingPeriod(n int) Option {
+	return func(c *Config) { c.SamplingPeriod = n }
+}
+
+// WithKernelWhitelist restricts intra-object instrumentation to the named
+// kernels (paper §5.5). No names means all kernels.
+func WithKernelWhitelist(kernels ...string) Option {
+	return func(c *Config) { c.KernelWhitelist = kernels }
+}
+
+// WithSequentialAnalysis forces the offline analysis stages onto one
+// goroutine (see Config.SequentialAnalysis).
+func WithSequentialAnalysis() Option {
+	return func(c *Config) { c.SequentialAnalysis = true }
+}
+
 // Attach hooks a profiler up to a device and enables instrumentation at the
-// configured level. Call it before the monitored GPU activity starts.
-func Attach(dev *gpu.Device, cfg Config) *Profiler { return core.Attach(dev, cfg) }
+// configured level. Call it before the monitored GPU activity starts. It is
+// equivalent to New(dev, WithConfig(cfg)).
+func Attach(dev *gpu.Device, cfg Config) *Profiler { return New(dev, WithConfig(cfg)) }
 
 // DefaultConfig returns the paper's experimental settings at object-level
 // analysis granularity (every GPU API intercepted; no per-instruction
@@ -98,8 +236,9 @@ func IntraObjectConfig() Config { return core.IntraObjectConfig() }
 // ExportGUI writes a report as a Perfetto/Chrome-trace JSON file (the
 // paper's liveness.json): per-stream GPU API timeline, lifetime tracks of
 // the data objects at the top memory peaks, the device-memory curve, and
-// per-API inefficiency details. Open it at https://ui.perfetto.dev.
-func ExportGUI(rep *Report, w io.Writer) error { return gui.Export(rep, w) }
+// per-API inefficiency details. Open it at https://ui.perfetto.dev. It is
+// equivalent to rep.Export(w, FormatGUI).
+func ExportGUI(rep *Report, w io.Writer) error { return rep.Export(w, FormatGUI) }
 
 // AnalyzeProfile loads a profile previously written with
 // Report.SaveProfile and re-runs the offline analyses (dependency
@@ -113,8 +252,9 @@ func AnalyzeProfile(r io.Reader, cfg Config) (*Report, error) {
 // ExportHTML writes a report as one self-contained HTML page — run
 // statistics, an inline-SVG memory timeline with the mined peaks marked,
 // and the ranked findings with metrics, suggestions and allocation call
-// paths. The file has no external references and works offline.
-func ExportHTML(rep *Report, w io.Writer) error { return gui.ExportHTML(rep, w) }
+// paths. The file has no external references and works offline. It is
+// equivalent to rep.Export(w, FormatHTML).
+func ExportHTML(rep *Report, w io.Writer) error { return rep.Export(w, FormatHTML) }
 
 // Pool is a caching device-memory allocator (the PyTorch CUDA caching
 // allocator analog). Use Profiler.AttachPool to give the profiler

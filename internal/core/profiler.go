@@ -15,6 +15,7 @@ import (
 	"drgpum/internal/intraobj"
 	"drgpum/internal/memcheck"
 	"drgpum/internal/objlevel"
+	"drgpum/internal/obs"
 	"drgpum/internal/pattern"
 	"drgpum/internal/peak"
 	"drgpum/internal/pool"
@@ -51,6 +52,13 @@ type Config struct {
 	// in-use accounting change under memcheck, so leave it off for the
 	// paper's peak-memory and overhead measurements.
 	Memcheck bool
+	// Obs installs a self-observability recorder (internal/obs): attach,
+	// ingestion, finalization, every offline analyzer and the memcheck scan
+	// report phase spans and counters into it, and the report carries a
+	// snapshot (Report.Obs, Report.Stats). Nil disables self-observability
+	// at near-zero cost. Sharing one recorder across several profilers
+	// aggregates them (counter updates are atomic; same-name spans merge).
+	Obs *obs.Recorder
 	// SequentialAnalysis forces the offline analysis stages to run strictly
 	// sequentially on one goroutine. The default concurrent pipeline is
 	// deterministic (reports are byte-identical either way — the
@@ -88,6 +96,15 @@ type Profiler struct {
 	collector *trace.Collector
 	recorder  *intraobj.Recorder
 	checker   *memcheck.Checker
+
+	// obs is Config.Obs (possibly nil); the *Pub fields track how much of
+	// each cumulative device statistic has already been published, so
+	// repeated analyze passes (Snapshot then Finish) add deltas instead of
+	// double-counting on a shared recorder.
+	obs         *obs.Recorder
+	allocOpsPub uint64
+	evictPub    uint64
+	checkedPub  uint64
 }
 
 // Attach hooks a profiler up to the device and enables instrumentation at
@@ -100,11 +117,14 @@ func Attach(dev *gpu.Device, cfg Config) *Profiler {
 	if cfg.DefaultElemSize == 0 {
 		cfg.DefaultElemSize = 4
 	}
-	p := &Profiler{dev: dev, cfg: cfg, collector: trace.NewCollector()}
+	p := &Profiler{dev: dev, cfg: cfg, collector: trace.NewCollector(), obs: cfg.Obs}
+	attachSpan := p.obs.Root().Child("attach").Start()
+	p.collector.SetObs(p.obs)
 	if cfg.Memcheck {
 		// Before anything else: the checker reshapes the allocator (red
 		// zones, quarantine), which must happen before the first allocation.
 		p.checker = memcheck.Attach(dev, memcheck.DefaultConfig())
+		p.checker.SetObs(p.obs)
 	}
 	p.collector.DefaultElemSize = cfg.DefaultElemSize
 	p.collector.SetHostTraceMode(cfg.ObjectIDMode == gpu.ObjectIDHostTrace)
@@ -112,6 +132,7 @@ func Attach(dev *gpu.Device, cfg Config) *Profiler {
 	if cfg.Level == gpu.PatchFull {
 		p.recorder = intraobj.NewRecorder(dev.Spec().MemoryCapacity)
 		p.recorder.LiveBytes = func() uint64 { return dev.MemStats().InUse }
+		p.recorder.SetObs(p.obs)
 		p.collector.SetSink(p.recorder)
 		dev.SetInstrumentFilter(p.instrumentFilter())
 	}
@@ -122,8 +143,13 @@ func Attach(dev *gpu.Device, cfg Config) *Profiler {
 	dev.SetLiveRangesProvider(p.collector.LiveRanges)
 	dev.AddHook(p.collector)
 	dev.SetPatchLevel(cfg.Level)
+	attachSpan.End()
 	return p
 }
+
+// Observability returns the configured self-observability recorder (nil
+// when Config.Obs was not set), for embedders that want live snapshots.
+func (p *Profiler) Observability() *obs.Recorder { return p.obs }
 
 // AttachPool integrates a custom memory allocator (the caching Pool, the
 // BFC arena, or any other pool.Observable): backing segments the allocator
@@ -222,19 +248,29 @@ func (p *Profiler) Snapshot() *Report {
 // sequential pipeline (Config.SequentialAnalysis; pinned by the determinism
 // regression tests).
 func (p *Profiler) analyze() *Report {
+	// an is the analyze span-tree node (nil without observability); each
+	// stage below opens a child span so per-analyzer self-time shows up in
+	// the phase breakdown. Stage spans aggregate by name, so a concurrent
+	// pass and a sequential pass record identical counts.
+	an := p.obs.Root().Child("analyze")
+	anSpan := an.Start()
 	t := p.collector.Trace()
-	g := depgraph.Annotate(t)
+
+	var g *depgraph.Graph
+	staged(an, "depgraph", func() { g = depgraph.Annotate(t) })
 
 	var pk *peak.Analysis
 	var objFindings, intraFindings []pattern.Finding
 	var modeStats intraobj.ModeStats
 	p.runStages(
-		func() { pk = peak.Analyze(t, p.cfg.TopPeaks) },
-		func() { objFindings = objlevel.Detect(t, p.cfg.ObjLevel) },
+		func() { staged(an, "peak", func() { pk = peak.Analyze(t, p.cfg.TopPeaks) }) },
+		func() { staged(an, "objlevel", func() { objFindings = objlevel.Detect(t, p.cfg.ObjLevel) }) },
 		func() {
 			if p.recorder != nil {
-				intraFindings = p.recorder.Detect(p.cfg.IntraObj)
-				modeStats = p.recorder.Stats()
+				staged(an, "intraobj", func() {
+					intraFindings = p.recorder.Detect(p.cfg.IntraObj)
+					modeStats = p.recorder.Stats()
+				})
 			}
 		},
 	)
@@ -244,13 +280,15 @@ func (p *Profiler) analyze() *Report {
 	var advice advisor.Estimate
 	p.runStages(
 		func() {
-			if p.cfg.SequentialAnalysis {
-				marginal = advisor.MarginalSavingsSequential(t, findings)
-			} else {
-				marginal = advisor.MarginalSavings(t, findings)
-			}
+			staged(an, "marginal", func() {
+				if p.cfg.SequentialAnalysis {
+					marginal = advisor.MarginalSavingsSequential(t, findings)
+				} else {
+					marginal = advisor.MarginalSavings(t, findings)
+				}
+			})
 		},
-		func() { advice = advisor.Advise(t, findings) },
+		func() { staged(an, "advise", func() { advice = advisor.Advise(t, findings) }) },
 	)
 
 	for i := range findings {
@@ -274,8 +312,9 @@ func (p *Profiler) analyze() *Report {
 	if p.checker != nil {
 		mc = p.checker.Report()
 	}
+	anSpan.End()
 
-	return &Report{
+	rep := &Report{
 		Device:    p.dev.Spec().Name,
 		Trace:     t,
 		Graph:     g,
@@ -287,6 +326,48 @@ func (p *Profiler) analyze() *Report {
 		Recorder:  p.recorder,
 		Advice:    advice,
 		Memcheck:  mc,
+	}
+	if p.obs.Enabled() {
+		p.publishCounters(rep, pk)
+		snap := p.obs.Snapshot()
+		rep.Obs = &snap
+	}
+	return rep
+}
+
+// staged wraps one analysis stage in a span named under the analyze node.
+func staged(an *obs.Node, name string, fn func()) {
+	sp := an.Child(name).Start()
+	fn()
+	sp.End()
+}
+
+// publishCounters feeds the per-pass and cumulative counters after an
+// analysis pass. Cumulative device statistics (allocator ops, quarantine
+// evictions, memcheck reads) publish as deltas against the previous pass so
+// shared recorders are never double-counted; per-pass quantities (peak
+// candidates, findings per pattern) count each pass, matching how engine
+// aggregation sums passes across runs.
+func (p *Profiler) publishCounters(rep *Report, pk *peak.Analysis) {
+	p.obs.Add(obs.CtrPeakCandidates, uint64(pk.Candidates))
+
+	perPattern := make(map[pattern.Pattern]uint64)
+	for i := range rep.Findings {
+		perPattern[rep.Findings[i].Pattern]++
+	}
+	for _, pat := range pattern.All() {
+		p.obs.AddNamed("findings/"+pat.Abbrev(), perPattern[pat])
+	}
+
+	ms := rep.MemStats
+	allocOps := ms.TotalAllocations + (ms.TotalAllocations - uint64(ms.LiveAllocations))
+	p.obs.Add(obs.CtrAllocOps, allocOps-p.allocOpsPub)
+	p.allocOpsPub = allocOps
+	p.obs.Add(obs.CtrQuarantineEvict, ms.QuarantineEvictions-p.evictPub)
+	p.evictPub = ms.QuarantineEvictions
+	if rep.Memcheck != nil {
+		p.obs.AddNamed("memcheck/reads checked", rep.Memcheck.AccessesChecked-p.checkedPub)
+		p.checkedPub = rep.Memcheck.AccessesChecked
 	}
 }
 

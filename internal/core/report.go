@@ -12,6 +12,7 @@ import (
 	"drgpum/internal/gpu"
 	"drgpum/internal/intraobj"
 	"drgpum/internal/memcheck"
+	"drgpum/internal/obs"
 	"drgpum/internal/pattern"
 	"drgpum/internal/peak"
 	"drgpum/internal/trace"
@@ -44,6 +45,11 @@ type Report struct {
 	Advice advisor.Estimate
 	// Memcheck is the memory-safety report (nil unless Config.Memcheck).
 	Memcheck *memcheck.Report
+	// Obs is the self-observability snapshot taken when the report was
+	// assembled (nil unless Config.Obs). Render with Stats or Export
+	// (FormatStats); wall-clock totals live only here, never in the
+	// byte-identity report text.
+	Obs *obs.Snapshot
 }
 
 // HasPattern reports whether any finding matches the pattern.
@@ -254,6 +260,9 @@ type jsonReport struct {
 	AdviceReductionPct float64 `json:"advised_reduction_pct"`
 	// Memcheck summarizes the memory-safety report when one was taken.
 	Memcheck *jsonMemcheck `json:"memcheck,omitempty"`
+	// Obs is the self-observability snapshot with wall-clock fields
+	// zeroed, so report JSON stays byte-identical across runs.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // jsonMemcheck is the serialized memory-safety summary.
@@ -283,6 +292,10 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			LeakBytes:    r.Memcheck.LeakBytes,
 			ReadsChecked: r.Memcheck.AccessesChecked,
 		}
+	}
+	if r.Obs != nil {
+		zw := r.Obs.ZeroWall()
+		jr.Obs = &zw
 	}
 	for _, p := range r.Peaks.Peaks {
 		jr.PeakTops = append(jr.PeakTops, p.Bytes)

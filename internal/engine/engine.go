@@ -38,6 +38,7 @@ import (
 	"drgpum/internal/core"
 	"drgpum/internal/gpu"
 	"drgpum/internal/memcheck"
+	"drgpum/internal/obs"
 	"drgpum/internal/pattern"
 	"drgpum/internal/workloads"
 )
@@ -58,6 +59,22 @@ const (
 	// level and yields Result.Memcheck.
 	ModeMemcheck
 )
+
+// String names the mode (also the engine/<mode> span name).
+func (m Mode) String() string {
+	switch m {
+	case ModeProfile:
+		return "profile"
+	case ModeNative:
+		return "native"
+	case ModeBaselines:
+		return "baselines"
+	case ModeMemcheck:
+		return "memcheck"
+	default:
+		return "unknown"
+	}
+}
 
 // RunOpts carries the scheduling- and instrumentation-extras of a run.
 type RunOpts struct {
@@ -133,6 +150,15 @@ type Config struct {
 	// goroutine — the reference scheduling the determinism tests compare
 	// the pool against. The cache stays active either way.
 	Sequential bool
+	// Obs, when enabled, is the engine's master self-observability
+	// recorder. Every executed (non-cached) run gets a fresh per-run
+	// recorder — so each Report's snapshot is run-local and byte-identical
+	// regardless of scheduling — and the run's snapshot is merged into Obs
+	// after the body finishes, under an engine/<mode> span. The Stats
+	// counters are mirrored onto Obs as they accumulate. Note the
+	// hits/dedups split depends on scheduling; only their sum is
+	// deterministic across sequential and parallel runs.
+	Obs *obs.Recorder
 }
 
 // Engine schedules runs and owns the profile cache. The zero value is
@@ -262,8 +288,10 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) runOne(s RunSpec) Result {
 	e.mu.Lock()
 	e.stats.Runs++
+	e.cfg.Obs.Add(obs.CtrEngineRuns, 1)
 	if s.Opts.Timed {
 		e.stats.Timed++
+		e.cfg.Obs.Add(obs.CtrEngineTimed, 1)
 		e.mu.Unlock()
 		return e.execTimed(s)
 	}
@@ -272,8 +300,10 @@ func (e *Engine) runOne(s RunSpec) Result {
 		select {
 		case <-ent.done:
 			e.stats.Hits++
+			e.cfg.Obs.Add(obs.CtrEngineHits, 1)
 		default:
 			e.stats.Dedups++
+			e.cfg.Obs.Add(obs.CtrEngineDedups, 1)
 		}
 		e.mu.Unlock()
 		<-ent.done
@@ -282,6 +312,7 @@ func (e *Engine) runOne(s RunSpec) Result {
 	ent := &entry{done: make(chan struct{})}
 	e.cache[k] = ent
 	e.stats.Misses++
+	e.cfg.Obs.Add(obs.CtrEngineMisses, 1)
 	e.mu.Unlock()
 	ent.res = e.execShared(s)
 	close(ent.done)
@@ -296,10 +327,29 @@ func (e *Engine) execShared(s RunSpec) Result {
 	if e.hookStart != nil {
 		e.hookStart(s)
 	}
-	res := exec(s)
+	res := e.execObserved(s)
 	if e.hookEnd != nil {
 		e.hookEnd(s)
 	}
+	return res
+}
+
+// execObserved runs one body, threading self-observability: with the
+// master recorder enabled the body gets a fresh per-run recorder (keeping
+// each Report's snapshot run-local, hence byte-identical no matter which
+// worker ran it), the execution is timed under an engine/<mode> span on
+// the master, and the run's snapshot is merged in afterwards. Merging is
+// pure addition, so the aggregate is independent of completion order.
+func (e *Engine) execObserved(s RunSpec) Result {
+	master := e.cfg.Obs
+	if !master.Enabled() {
+		return exec(s, nil)
+	}
+	runRec := obs.New()
+	sp := master.Root().Child("engine").Child(s.Mode.String()).Start()
+	res := exec(s, runRec)
+	sp.End()
+	master.Merge(runRec.Snapshot())
 	return res
 }
 
@@ -312,7 +362,7 @@ func (e *Engine) execTimed(s RunSpec) Result {
 	if e.hookStart != nil {
 		e.hookStart(s)
 	}
-	res := exec(s)
+	res := e.execObserved(s)
 	if e.hookEnd != nil {
 		e.hookEnd(s)
 	}

@@ -8,6 +8,7 @@ import (
 	"drgpum/internal/core"
 	"drgpum/internal/gpu"
 	"drgpum/internal/memcheck"
+	"drgpum/internal/obs"
 	"drgpum/internal/pool"
 	"drgpum/internal/workloads"
 )
@@ -16,17 +17,19 @@ import (
 // runs are fully independent; the wall clock starts after device
 // construction (matching the overhead figure's methodology) and, for
 // profile runs, includes offline analysis — analysis is part of the
-// profiling cost the paper measures.
-func exec(s RunSpec) Result {
+// profiling cost the paper measures. rec is the run's private
+// self-observability recorder (nil when the engine has none); native and
+// baseline runs have nothing to record.
+func exec(s RunSpec, rec *obs.Recorder) Result {
 	switch s.Mode {
 	case ModeNative:
 		return execNative(s)
 	case ModeBaselines:
 		return execBaselines(s)
 	case ModeMemcheck:
-		return execMemcheck(s)
+		return execMemcheck(s, rec)
 	default:
-		return execProfile(s)
+		return execProfile(s, rec)
 	}
 }
 
@@ -34,13 +37,14 @@ func exec(s RunSpec) Result {
 // (the paper's configuration, as in tables.Profile): object-level at
 // gpu.PatchAPI, intra-object at gpu.PatchFull with the workload's paper
 // kernel whitelist and the spec'd sampling period.
-func execProfile(s RunSpec) Result {
+func execProfile(s RunSpec, rec *obs.Recorder) Result {
 	dev := gpu.NewDevice(s.Spec)
 	start := time.Now()
 	cfg := core.DefaultConfig()
 	cfg.Level = s.Level
 	cfg.SamplingPeriod = s.Sampling
 	cfg.Memcheck = s.Opts.Memcheck
+	cfg.Obs = rec
 	if s.Level == gpu.PatchFull {
 		cfg.KernelWhitelist = s.Workload.IntraKernels
 	}
@@ -99,10 +103,11 @@ func (h checkerHost) AttachPool(pool.Observable) {}
 // execMemcheck runs the memory-safety checker standalone on a fully
 // instrumented device — the regression gate's configuration. Level and
 // Sampling are ignored: the checker observes every kernel.
-func execMemcheck(s RunSpec) Result {
+func execMemcheck(s RunSpec, rec *obs.Recorder) Result {
 	dev := gpu.NewDevice(s.Spec)
 	start := time.Now()
 	c := memcheck.Attach(dev, memcheck.DefaultConfig())
+	c.SetObs(rec)
 	dev.SetPatchLevel(gpu.PatchFull)
 	if err := s.Workload.Run(dev, checkerHost{c}, s.Variant); err != nil {
 		return Result{Err: fmt.Errorf("%s (%s) memcheck: %w", s.Workload.Name, s.Variant, err)}

@@ -72,6 +72,7 @@ type Allocator struct {
 	quarantine []quarantined
 	quarBytes  uint64
 	quarMax    uint64
+	quarEvict  uint64
 
 	faultPlan  FaultPlan
 	allocCalls uint64
@@ -199,6 +200,7 @@ func (a *Allocator) drainQuarantine() {
 		q := a.quarantine[0]
 		a.quarantine = a.quarantine[1:]
 		a.quarBytes -= q.span.size
+		a.quarEvict++
 		a.insertFree(q.span)
 	}
 }
@@ -303,6 +305,9 @@ type AllocStats struct {
 	// QuarantinedBytes is the reserved space parked in the use-after-free
 	// quarantine (0 unless memcheck configured one).
 	QuarantinedBytes uint64
+	// QuarantineEvictions counts spans released early from the quarantine
+	// to keep it within budget.
+	QuarantineEvictions uint64
 	// InjectedFaults counts allocations failed by the fault plan.
 	InjectedFaults uint64
 }
@@ -316,15 +321,16 @@ func (a *Allocator) Stats() AllocStats {
 		}
 	}
 	return AllocStats{
-		Capacity:         a.capacity,
-		InUse:            a.inUse,
-		Peak:             a.peak,
-		LiveAllocations:  a.liveCount,
-		TotalAllocations: a.allocSeq,
-		FreeSpans:        len(a.free),
-		LargestFreeSpan:  largest,
-		QuarantinedBytes: a.quarBytes,
-		InjectedFaults:   a.injected,
+		Capacity:            a.capacity,
+		InUse:               a.inUse,
+		Peak:                a.peak,
+		LiveAllocations:     a.liveCount,
+		TotalAllocations:    a.allocSeq,
+		FreeSpans:           len(a.free),
+		LargestFreeSpan:     largest,
+		QuarantinedBytes:    a.quarBytes,
+		QuarantineEvictions: a.quarEvict,
+		InjectedFaults:      a.injected,
 	}
 }
 

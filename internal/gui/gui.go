@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"drgpum/internal/core"
+	"drgpum/internal/obs"
 	"drgpum/internal/pattern"
 	"drgpum/internal/trace"
 )
@@ -31,7 +32,16 @@ const (
 	pidAPIs    = 1
 	pidObjects = 2
 	pidMemory  = 3
+	pidObs     = 4
 )
+
+// init registers this package's renderers with the unified exporter
+// (core.Report.Export); the public drgpum package imports gui, so both
+// formats are always available to external callers.
+func init() {
+	core.RegisterExporter(core.FormatGUI, Export)
+	core.RegisterExporter(core.FormatHTML, ExportHTML)
+}
 
 // event is one Chrome trace event. Only the fields the viewer needs are
 // emitted.
@@ -184,9 +194,75 @@ func Export(rep *core.Report, w io.Writer) error {
 		})
 	}
 
+	appendObsTrack(&doc, rep.Obs)
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(doc)
+}
+
+// appendObsTrack adds the profiler's self-observability as its own process
+// next to the simulated GPU timeline: one flame lane of phase spans plus a
+// counter summary. Like the GPU panes, the x-axis is synthetic (spans are
+// laid out by call count, children packed inside their parent), so the
+// track contains no wall-clock bytes and the export stays byte-identical
+// across runs — self-time belongs to obs.Snapshot.WriteTrace.
+func appendObsTrack(doc *document, snap *obs.Snapshot) {
+	if snap == nil {
+		return
+	}
+	doc.TraceEvents = append(doc.TraceEvents,
+		metaEvent(pidObs, "DrGPUM self-observability"),
+		threadName(pidObs, 0, "phases"),
+		threadName(pidObs, 1, "counters"),
+	)
+	appendObsSpans(doc, snap.Spans, 0)
+	counters := map[string]any{}
+	for _, c := range snap.Counters {
+		if c.Value != 0 {
+			counters[c.Name] = c.Value
+		}
+	}
+	doc.TraceEvents = append(doc.TraceEvents, event{
+		Name: "counters", Phase: "i",
+		Ts: 0, Pid: pidObs, Tid: 1,
+		Cat:  "obs",
+		Args: counters,
+	})
+}
+
+// appendObsSpans lays out sibling phase spans sequentially from offset;
+// a span's width is its call count (at least 1), widened to hold its
+// children, which nest inside it on the same lane.
+func appendObsSpans(doc *document, ns []obs.SpanNode, offset uint64) {
+	for _, n := range ns {
+		w := obsSpanWidth(n)
+		doc.TraceEvents = append(doc.TraceEvents, event{
+			Name: n.Name, Phase: "X",
+			Ts: offset, Dur: w,
+			Pid: pidObs, Tid: 0,
+			Cat:  "obs",
+			Args: map[string]any{"calls": n.Count},
+		})
+		appendObsSpans(doc, n.Children, offset)
+		offset += w
+	}
+}
+
+// obsSpanWidth is a span's tile width: max(1, calls, sum of children).
+func obsSpanWidth(n obs.SpanNode) uint64 {
+	w := n.Count
+	if w < 1 {
+		w = 1
+	}
+	var kids uint64
+	for _, c := range n.Children {
+		kids += obsSpanWidth(c)
+	}
+	if kids > w {
+		w = kids
+	}
+	return w
 }
 
 // patternLines renders the bottom-pane detail text for a set of findings.

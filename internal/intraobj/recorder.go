@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"drgpum/internal/gpu"
+	"drgpum/internal/obs"
 	"drgpum/internal/trace"
 )
 
@@ -124,6 +125,18 @@ type Recorder struct {
 	curMode   MapMode
 	haveAPI   bool
 	modeStats ModeStats
+
+	// Self-observability taps. The hot ingestion loops only bump the plain
+	// local totals below; Flush publishes the deltas to the recorder, so
+	// the per-access cost with observability on is identical to off.
+	// finalizeNode is nil without an enabled recorder (one nil check per
+	// kernel finalization).
+	obsRec       *obs.Recorder
+	finalizeNode *obs.Node
+	spillTotal   uint64 // coalesced host-mode spill records replayed
+	wordTotal    uint64 // access-bitmap words covered by finalized windows
+	spillPub     uint64 // portion of spillTotal already published
+	wordPub      uint64 // portion of wordTotal already published
 }
 
 var _ trace.AccessSink = (*Recorder)(nil)
@@ -140,6 +153,16 @@ func NewRecorder(capacityBytes uint64) *Recorder {
 
 // Stats returns the adaptive-mode kernel counts.
 func (r *Recorder) Stats() ModeStats { return r.modeStats }
+
+// SetObs installs a self-observability recorder: per-kernel finalization
+// reports a span under ingest/finalize, and Flush publishes the spill and
+// bitmap-word counters. Inert with a nil or disabled recorder.
+func (r *Recorder) SetObs(rec *obs.Recorder) {
+	if root := rec.Root(); root != nil {
+		r.obsRec = rec
+		r.finalizeNode = root.Child("ingest").Child("finalize")
+	}
+}
 
 // mapBytes estimates the device memory the access maps of all tracked
 // objects would occupy: one bit per element (bitmap) plus four bytes per
@@ -340,7 +363,9 @@ func (r *Recorder) finalizeAPI() {
 	if !r.haveAPI {
 		return
 	}
+	sp := r.finalizeNode.Start()
 	for _, st := range r.active {
+		r.spillTotal += uint64(len(st.spill))
 		for _, s := range st.spill {
 			st.update(s.lo, s.hi)
 		}
@@ -348,6 +373,7 @@ func (r *Recorder) finalizeAPI() {
 
 		var apiTotal uint64
 		if st.curHi >= st.curLo {
+			r.wordTotal += uint64(st.curHi>>6-st.curLo>>6) + 1
 			// Prefix-sum the difference array over the touched window to
 			// recover exact per-element frequencies (holes inside the
 			// window sum to zero), folding into the cumulative map as we
@@ -385,13 +411,21 @@ func (r *Recorder) finalizeAPI() {
 		st.curActive = false
 	}
 	r.active = r.active[:0]
+	sp.End()
 }
 
-// Flush finalizes the in-flight API. The profiler calls it once collection
-// ends, before detection.
+// Flush finalizes the in-flight API and publishes the accumulated counter
+// deltas (publishing deltas keeps repeated Flush/Snapshot cycles from
+// double-counting on a recorder shared across runs). The profiler calls it
+// once collection ends, before detection.
 func (r *Recorder) Flush() {
 	r.finalizeAPI()
 	r.haveAPI = false
+	if r.obsRec != nil {
+		r.obsRec.Add(obs.CtrSpillRecords, r.spillTotal-r.spillPub)
+		r.obsRec.Add(obs.CtrBitmapWords, r.wordTotal-r.wordPub)
+		r.spillPub, r.wordPub = r.spillTotal, r.wordTotal
+	}
 }
 
 // coefficientOfVariation returns stddev/mean of the samples, in percent

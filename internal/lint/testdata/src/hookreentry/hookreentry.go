@@ -4,6 +4,7 @@ package hookreentry
 
 import (
 	"drgpum/internal/gpu"
+	"drgpum/internal/obs"
 	"drgpum/internal/pool"
 	"drgpum/internal/trace"
 )
@@ -69,6 +70,46 @@ func (h *goodHook) OnAPI(rec *gpu.APIRecord) {
 
 func (h *goodHook) OnAccessBatch(rec *gpu.APIRecord, batch []gpu.MemAccess) {
 	h.seen += uint64(len(batch))
+}
+
+// obsHook records self-observability from inside hook callbacks. The obs
+// package never touches the device or a pool, so spans and counter updates
+// are re-entry-safe and must stay unflagged — this is the contract the
+// collector's ingestion taps rely on.
+type obsHook struct {
+	rec       *obs.Recorder
+	apiNode   *obs.Node
+	batchNode *obs.Node
+}
+
+var _ gpu.Hook = (*obsHook)(nil)
+
+func (h *obsHook) OnAPI(rec *gpu.APIRecord) {
+	sp := h.apiNode.Start()
+	h.rec.Add(obs.CtrAPIs, 1)
+	sp.End()
+}
+
+func (h *obsHook) OnAccessBatch(rec *gpu.APIRecord, batch []gpu.MemAccess) {
+	sp := h.batchNode.Start()
+	h.rec.Add(obs.CtrAccessBatches, 1)
+	h.rec.Add(obs.CtrAccesses, uint64(len(batch)))
+	h.rec.AddNamed("batches/"+rec.Name, 1)
+	sp.End()
+}
+
+// obsSink reports into a recorder from the access-sink callbacks — silent
+// for the same reason.
+type obsSink struct{ node *obs.Node }
+
+var _ trace.BatchAccessSink = (*obsSink)(nil)
+
+func (s *obsSink) ObjectAccess(o *trace.Object, rec *gpu.APIRecord, a gpu.MemAccess) {
+	s.node.Record(0)
+}
+
+func (s *obsSink) ObjectAccessRun(o *trace.Object, rec *gpu.APIRecord, run []gpu.MemAccess) {
+	s.node.Child("run").Record(0)
 }
 
 // launchElsewhere is not a hook; mutating calls are its business — silent.

@@ -27,6 +27,7 @@ import (
 	"drgpum/internal/callpath"
 	"drgpum/internal/gpu"
 	"drgpum/internal/intraobj"
+	"drgpum/internal/obs"
 )
 
 // Config controls the checker.
@@ -147,6 +148,18 @@ type Checker struct {
 
 	checked uint64 // kernel reads checked against shadows
 	freeLog uint64 // frees observed
+
+	// scanNode times the Report leak scan under memcheck/scan when a
+	// self-observability recorder is installed (nil otherwise).
+	scanNode *obs.Node
+}
+
+// SetObs installs a self-observability recorder: taking a Report records a
+// span under memcheck/scan. Inert with a nil or disabled recorder.
+func (c *Checker) SetObs(rec *obs.Recorder) {
+	if root := rec.Root(); root != nil {
+		c.scanNode = root.Child("memcheck").Child("scan")
+	}
 }
 
 // Attach configures the device's allocator for checking (red zone,

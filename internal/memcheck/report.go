@@ -78,6 +78,8 @@ func (r *Report) Clean() bool { return len(r.Issues) == 0 }
 // does not mutate the checker, so a later snapshot reflects frees that
 // happened in between.
 func (c *Checker) Report() *Report {
+	sp := c.scanNode.Start()
+	defer sp.End()
 	r := &Report{
 		Allocs:          uint64(len(c.order)),
 		Frees:           c.freeLog,

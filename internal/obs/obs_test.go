@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety pins the package's central contract: every method is a
+// no-op on a nil receiver, so instrumented call sites need no guards.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.Root() != nil {
+		t.Fatal("nil recorder has a root")
+	}
+	r.Add(CtrAPIs, 1)
+	r.AddNamed("x", 1)
+	r.Disable()
+	r.Merge(Snapshot{})
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Spans) != 0 {
+		t.Fatalf("nil recorder snapshot not empty: %+v", s)
+	}
+
+	var n *Node
+	if n.Child("x") != nil {
+		t.Fatal("nil node produced a child")
+	}
+	n.Record(time.Second)
+	n.Child("x").Child("y").Start().End() // chains through nil
+	(Span{}).End()
+}
+
+// TestNopDisabled pins that the shared Nop recorder accepts nothing.
+func TestNopDisabled(t *testing.T) {
+	if Nop.Enabled() {
+		t.Fatal("Nop is enabled")
+	}
+	if Nop.Root() != nil {
+		t.Fatal("Nop has a visible root")
+	}
+	Nop.Add(CtrAPIs, 7)
+	Nop.AddNamed("x", 7)
+	for _, c := range Nop.Snapshot().Counters {
+		if c.Value != 0 {
+			t.Fatalf("Nop counter %s = %d", c.Name, c.Value)
+		}
+	}
+}
+
+// TestDisable pins that Disable stops new data and hides the root.
+func TestDisable(t *testing.T) {
+	r := New()
+	r.Add(CtrAPIs, 1)
+	r.Disable()
+	r.Add(CtrAPIs, 1)
+	r.AddNamed("x", 1)
+	if r.Root() != nil {
+		t.Fatal("disabled recorder still hands out its root")
+	}
+	r2 := New()
+	r2.Add(CtrAPIs, 5)
+	r.Merge(r2.Snapshot()) // must be ignored
+	s := r.Snapshot()
+	if got := counterValue(t, s, "apis ingested"); got != 1 {
+		t.Fatalf("apis ingested = %d, want 1 (updates after Disable must be dropped)", got)
+	}
+}
+
+// TestSnapshotOrder pins the snapshot layout: fixed counters first in
+// declaration order (zeros included), then named counters sorted by name.
+func TestSnapshotOrder(t *testing.T) {
+	r := New()
+	r.Add(CtrAccesses, 3)
+	r.AddNamed("findings/UA", 2)
+	r.AddNamed("findings/EA", 1)
+	s := r.Snapshot()
+	if len(s.Counters) != numCounters+2 {
+		t.Fatalf("got %d counters, want %d", len(s.Counters), numCounters+2)
+	}
+	for c := 0; c < numCounters; c++ {
+		if s.Counters[c].Name != Counter(c).String() {
+			t.Fatalf("counter %d is %q, want %q", c, s.Counters[c].Name, Counter(c).String())
+		}
+	}
+	if s.Counters[numCounters].Name != "findings/EA" || s.Counters[numCounters+1].Name != "findings/UA" {
+		t.Fatalf("named counters not sorted: %q, %q", s.Counters[numCounters].Name, s.Counters[numCounters+1].Name)
+	}
+}
+
+// TestConcurrentSpansDeterministic pins that same-name spans recorded from
+// many goroutines aggregate into one deterministic tree.
+func TestConcurrentSpansDeterministic(t *testing.T) {
+	const workers, per = 8, 50
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := r.Root().Child("ingest").Child("batch").Start()
+				sp.End()
+				r.Add(CtrAccessBatches, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if len(s.Spans) != 1 || s.Spans[0].Name != "ingest" {
+		t.Fatalf("unexpected roots: %+v", s.Spans)
+	}
+	kids := s.Spans[0].Children
+	if len(kids) != 1 || kids[0].Name != "batch" || kids[0].Count != workers*per {
+		t.Fatalf("batch node = %+v, want count %d", kids, workers*per)
+	}
+	if got := counterValue(t, s, "access batches"); got != workers*per {
+		t.Fatalf("access batches = %d, want %d", got, workers*per)
+	}
+}
+
+// TestMerge pins that merging a snapshot adds counters (fixed matched by
+// name, unknown names kept as named) and merges span subtrees node by node.
+func TestMerge(t *testing.T) {
+	src := New()
+	src.Add(CtrAPIs, 4)
+	src.AddNamed("findings/OA", 2)
+	src.Root().Child("analyze").Child("peak").Record(3 * time.Millisecond)
+	snap := src.Snapshot()
+
+	dst := New()
+	dst.Root().Child("analyze").Child("objlevel").Record(time.Millisecond)
+	dst.Merge(snap)
+	dst.Merge(snap)
+
+	s := dst.Snapshot()
+	if got := counterValue(t, s, "apis ingested"); got != 8 {
+		t.Fatalf("apis ingested = %d, want 8", got)
+	}
+	if got := counterValue(t, s, "findings/OA"); got != 4 {
+		t.Fatalf("findings/OA = %d, want 4", got)
+	}
+	if len(s.Spans) != 1 || len(s.Spans[0].Children) != 2 {
+		t.Fatalf("merged tree shape wrong: %+v", s.Spans)
+	}
+	pk := s.Spans[0].Children[1]
+	if pk.Name != "peak" || pk.Count != 2 || pk.Nanos != (6*time.Millisecond).Nanoseconds() {
+		t.Fatalf("peak node = %+v, want 2 calls / 6ms", pk)
+	}
+}
+
+// TestZeroWall pins that ZeroWall deep-copies with every Nanos dropped.
+func TestZeroWall(t *testing.T) {
+	r := New()
+	r.Root().Child("a").Child("b").Record(time.Second)
+	z := r.Snapshot().ZeroWall()
+	if z.Spans[0].Nanos != 0 || z.Spans[0].Children[0].Nanos != 0 {
+		t.Fatalf("ZeroWall left wall time: %+v", z.Spans)
+	}
+	if z.Spans[0].Children[0].Count != 1 {
+		t.Fatal("ZeroWall dropped counts")
+	}
+}
+
+// TestWriteTextForms pins the two text forms: without wall the output has
+// no clock-derived bytes; with wall each phase line carries its total.
+func TestWriteTextForms(t *testing.T) {
+	var empty bytes.Buffer
+	New().Snapshot().WriteText(&empty, false)
+	if got := empty.String(); strings.Count(got, "(none)") != 2 {
+		t.Fatalf("empty recorder text = %q, want (none) for counters and phases", got)
+	}
+
+	r := New()
+	r.Add(CtrAPIs, 2)
+	r.Root().Child("attach").Record(1500 * time.Microsecond)
+	var noWall, wall bytes.Buffer
+	r.Snapshot().WriteText(&noWall, false)
+	r.Snapshot().WriteText(&wall, true)
+	if s := noWall.String(); !strings.Contains(s, "apis ingested") || !strings.Contains(s, "attach") {
+		t.Fatalf("missing content in %q", s)
+	}
+	if strings.Contains(noWall.String(), "1.5ms") {
+		t.Fatal("wall=false output contains a duration")
+	}
+	if !strings.Contains(wall.String(), "1.5ms") {
+		t.Fatalf("wall=true output missing the duration: %q", wall.String())
+	}
+}
+
+// TestWriteTrace pins that the Chrome-trace export is valid JSON with the
+// expected event kinds.
+func TestWriteTrace(t *testing.T) {
+	r := New()
+	r.Add(CtrAccesses, 9)
+	root := r.Root()
+	root.Child("ingest").Child("api").Record(2 * time.Microsecond)
+	root.Child("ingest").Child("batch").Record(5 * time.Microsecond)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	var sawMeta, sawSlice, sawCounter bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Phase == "M" && ev.Name == "process_name":
+			sawMeta = true
+		case ev.Phase == "X" && ev.Name == "ingest":
+			sawSlice = true
+		case ev.Phase == "C" && ev.Name == "accesses ingested":
+			sawCounter = true
+		}
+	}
+	if !sawMeta || !sawSlice || !sawCounter {
+		t.Fatalf("trace missing events (meta=%v slice=%v counter=%v):\n%s", sawMeta, sawSlice, sawCounter, buf.String())
+	}
+}
+
+// TestDisabledPathAllocFree pins that the disabled paths allocate nothing:
+// the whole point of caching nil node handles and the Nop recorder.
+func TestDisabledPathAllocFree(t *testing.T) {
+	var nilNode *Node
+	if avg := testing.AllocsPerRun(100, func() {
+		Nop.Add(CtrAccesses, 1)
+		Nop.AddNamed("x", 1)
+		nilNode.Start().End()
+		_ = nilNode.Child("y")
+	}); avg != 0 {
+		t.Fatalf("disabled path allocates %.1f times per op", avg)
+	}
+}
+
+// counterValue finds a counter by name in a snapshot.
+func counterValue(t *testing.T, s Snapshot, name string) uint64 {
+	t.Helper()
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("counter %q not in snapshot", name)
+	return 0
+}

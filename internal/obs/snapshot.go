@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// CounterValue is one counter's point-in-time value.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// SpanNode is one aggregated span-tree node: how many times the phase ran
+// and its total wall time. Children are sorted by name.
+type SpanNode struct {
+	Name     string     `json:"name"`
+	Count    uint64     `json:"count"`
+	Nanos    int64      `json:"wall_ns"`
+	Children []SpanNode `json:"children,omitempty"`
+}
+
+// Snapshot is an immutable, expvar-style view of a recorder: marshal it as
+// JSON for embedding, render it with WriteText, or export it with
+// WriteTrace. Fixed counters appear first in declaration order (zeros
+// included, so the shape is stable), then named counters sorted by name.
+type Snapshot struct {
+	Counters []CounterValue `json:"counters"`
+	Spans    []SpanNode     `json:"spans,omitempty"`
+}
+
+// Snapshot captures the recorder's current state. The result is
+// deterministic for deterministic inputs: counter order is fixed, named
+// counters and span children are sorted, and concurrent same-name spans
+// were already aggregated at record time.
+func (r *Recorder) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	s.Counters = make([]CounterValue, 0, numCounters)
+	for c := 0; c < numCounters; c++ {
+		s.Counters = append(s.Counters, CounterValue{Name: counterNames[c], Value: r.counters[c].Load()})
+	}
+	r.namedMu.Lock()
+	names := make([]string, 0, len(r.named))
+	for name := range r.named {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: r.named[name]})
+	}
+	r.namedMu.Unlock()
+	if r.root != nil {
+		s.Spans = snapshotChildren(r.root)
+	}
+	return s
+}
+
+// snapshotChildren freezes a node's children, sorted by name.
+func snapshotChildren(n *Node) []SpanNode {
+	n.mu.Lock()
+	kids := append([]*Node(nil), n.children...)
+	n.mu.Unlock()
+	if len(kids) == 0 {
+		return nil
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i].name < kids[j].name })
+	out := make([]SpanNode, 0, len(kids))
+	for _, k := range kids {
+		out = append(out, SpanNode{
+			Name:     k.name,
+			Count:    k.count.Load(),
+			Nanos:    k.nanos.Load(),
+			Children: snapshotChildren(k),
+		})
+	}
+	return out
+}
+
+// ZeroWall returns a deep copy with every wall-clock field zeroed — the
+// byte-identity form used wherever snapshots feed deterministic output
+// (report JSON, the GUI obs track).
+func (s Snapshot) ZeroWall() Snapshot {
+	out := Snapshot{Counters: append([]CounterValue(nil), s.Counters...)}
+	out.Spans = zeroWallNodes(s.Spans)
+	return out
+}
+
+func zeroWallNodes(ns []SpanNode) []SpanNode {
+	if len(ns) == 0 {
+		return nil
+	}
+	out := make([]SpanNode, len(ns))
+	for i, n := range ns {
+		out[i] = SpanNode{Name: n.Name, Count: n.Count, Children: zeroWallNodes(n.Children)}
+	}
+	return out
+}
+
+// Merge folds a snapshot into the recorder: counters add (fixed counters
+// matched by name, everything else named) and span subtrees merge node by
+// node. The engine uses this to aggregate per-run recorders into its
+// process-wide one; addition commutes, so the aggregate is deterministic
+// regardless of run completion order.
+func (r *Recorder) Merge(s Snapshot) {
+	if !r.Enabled() {
+		return
+	}
+	for _, c := range s.Counters {
+		if idx, ok := counterIndex[c.Name]; ok {
+			r.Add(idx, c.Value)
+		} else {
+			r.AddNamed(c.Name, c.Value)
+		}
+	}
+	mergeNodes(r.root, s.Spans)
+}
+
+func mergeNodes(dst *Node, src []SpanNode) {
+	for _, n := range src {
+		c := dst.Child(n.Name)
+		c.add(n.Count, n.Nanos)
+		mergeNodes(c, n.Children)
+	}
+}
+
+// WriteText renders the snapshot as an indented text summary. Zero-valued
+// counters are skipped (their absence is as deterministic as their
+// presence). With wall set, each phase line carries its total wall time;
+// without it the output contains no clock-derived bytes at all, which is
+// the form Report.Stats uses for byte-identical reports.
+func (s Snapshot) WriteText(w io.Writer, wall bool) {
+	fmt.Fprintf(w, "self-observability\n")
+	fmt.Fprintf(w, "  counters:\n")
+	any := false
+	for _, c := range s.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(w, "    %-28s %12d\n", c.Name, c.Value)
+	}
+	if !any {
+		fmt.Fprintf(w, "    (none)\n")
+	}
+	fmt.Fprintf(w, "  phases:\n")
+	if len(s.Spans) == 0 {
+		fmt.Fprintf(w, "    (none)\n")
+		return
+	}
+	writeTextNodes(w, s.Spans, "    ", wall)
+}
+
+func writeTextNodes(w io.Writer, ns []SpanNode, indent string, wall bool) {
+	for _, n := range ns {
+		pad := 30 - len(indent) - len(n.Name)
+		if pad < 1 {
+			pad = 1
+		}
+		fmt.Fprintf(w, "%s%s%*s %8d calls", indent, n.Name, pad, "", n.Count)
+		if wall {
+			fmt.Fprintf(w, "  %12s", time.Duration(n.Nanos))
+		}
+		fmt.Fprintf(w, "\n")
+		writeTextNodes(w, n.Children, indent+"  ", wall)
+	}
+}

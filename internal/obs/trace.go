@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceEvent is one Chrome trace event (the subset the viewer needs; the
+// same shape internal/gui emits).
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceDocument is the trace-file envelope.
+type traceDocument struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Metadata        map[string]string `json:"metadata"`
+}
+
+// WriteTrace exports the snapshot as a standalone Chrome/Perfetto trace:
+// each span node becomes a complete ("X") slice whose duration is its total
+// wall time, children packed left-to-right inside their parent so the
+// viewer renders a flame view of where the profiler's own time went.
+// Timestamps are synthetic offsets in microseconds of real self-time — this
+// export is a diagnostic for humans, not a byte-identity surface; use
+// ZeroWall plus the GUI obs track for deterministic output.
+func (s Snapshot) WriteTrace(w io.Writer) error {
+	doc := traceDocument{
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]string{"tool": "DrGPUM-Go self-observability"},
+	}
+	doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+		Name: "process_name", Phase: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "DrGPUM self-time"},
+	})
+	emitTraceNodes(&doc, s.Spans, 0)
+	for _, c := range s.Counters {
+		if c.Value == 0 {
+			continue
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: c.Name, Phase: "C", Ts: 0, Pid: 1, Tid: 0,
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&doc)
+}
+
+// emitTraceNodes lays out sibling slices sequentially from offset and
+// recurses; children nest inside their parent's extent.
+func emitTraceNodes(doc *traceDocument, ns []SpanNode, offset int64) {
+	for _, n := range ns {
+		w := nodeWidth(n)
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: n.Name, Phase: "X", Ts: offset, Dur: w, Pid: 1, Tid: 0,
+			Args: map[string]any{"calls": n.Count, "wall_ns": n.Nanos},
+		})
+		emitTraceNodes(doc, n.Children, offset)
+		offset += w
+	}
+}
+
+// nodeWidth is a node's slice width in microseconds: its own wall time,
+// widened to hold its children and to at least 1us so zero-cost phases
+// stay visible.
+func nodeWidth(n SpanNode) int64 {
+	d := n.Nanos / 1000
+	if d < 1 {
+		d = 1
+	}
+	var kids int64
+	for _, c := range n.Children {
+		kids += nodeWidth(c)
+	}
+	if kids > d {
+		d = kids
+	}
+	return d
+}

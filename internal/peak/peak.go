@@ -28,6 +28,9 @@ type Analysis struct {
 	Peaks []Peak
 	// PeakBytes is the global maximum of the timeline.
 	PeakBytes uint64
+	// Candidates is how many local maxima the miner considered before
+	// keeping the top K (a self-observability counter).
+	Candidates int
 	// onPeak marks objects live at any reported peak.
 	onPeak map[trace.ObjectID]bool
 }
@@ -84,6 +87,7 @@ func Analyze(t *trace.Trace, topK int) *Analysis {
 		}
 		return cands[i].topo < cands[j].topo
 	})
+	a.Candidates = len(cands)
 	if len(cands) > topK {
 		cands = cands[:topK]
 	}

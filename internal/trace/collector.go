@@ -3,6 +3,7 @@ package trace
 import (
 	"drgpum/internal/callpath"
 	"drgpum/internal/gpu"
+	"drgpum/internal/obs"
 )
 
 // AccessSink receives object-attributed memory accesses of instrumented
@@ -56,6 +57,14 @@ type Collector struct {
 	pendingWrites map[ObjectID]bool
 
 	scratch []ObjectID
+
+	// obsRec and the cached nodes are the self-observability taps. The
+	// nodes stay nil when no enabled recorder is installed (obs.Root
+	// returns nil then), so the disabled hot path costs one nil check per
+	// ingested event plus one atomic load per counter update.
+	obsRec       *obs.Recorder
+	obsAPINode   *obs.Node
+	obsBatchNode *obs.Node
 }
 
 var _ gpu.Hook = (*Collector)(nil)
@@ -77,6 +86,17 @@ func NewCollector() *Collector {
 func (c *Collector) SetSink(s AccessSink) {
 	c.sink = s
 	c.batchSink, _ = s.(BatchAccessSink)
+}
+
+// SetObs installs a self-observability recorder: API and access-batch
+// ingestion report spans under ingest/ and feed the event counters. Safe to
+// call with nil or a disabled recorder (the taps stay inert).
+func (c *Collector) SetObs(r *obs.Recorder) {
+	c.obsRec = r
+	if ing := r.Root().Child("ingest"); ing != nil {
+		c.obsAPINode = ing.Child("api")
+		c.obsBatchNode = ing.Child("batch")
+	}
 }
 
 // SetHostTraceMode switches kernel object identification to the host-side
@@ -143,6 +163,7 @@ func (c *Collector) LiveObject(addr gpu.DevicePtr) (*Object, bool) {
 // completion on the invoking goroutine, so the call-path capture below sees
 // the application stack that issued the API.
 func (c *Collector) OnAPI(rec *gpu.APIRecord) {
+	sp := c.obsAPINode.Start()
 	info := &APIInfo{
 		Rec: rec,
 		// Skip OnAPI and the device's emit helper so the leaf frame is the
@@ -207,6 +228,8 @@ func (c *Collector) OnAPI(rec *gpu.APIRecord) {
 		c.trace.APIs = append(c.trace.APIs, nil)
 	}
 	c.trace.APIs = append(c.trace.APIs, info)
+	c.obsRec.Add(obs.CtrAPIs, 1)
+	sp.End()
 }
 
 // attributeRanges maps the record's read/written address ranges to live
@@ -237,6 +260,7 @@ func (c *Collector) attributeRanges(info *APIInfo, rec *gpu.APIRecord) {
 // mode it additionally reconstructs the kernel's object touch set (the
 // expensive path the paper's Figure 5 optimization avoids).
 func (c *Collector) OnAccessBatch(rec *gpu.APIRecord, batch []gpu.MemAccess) {
+	sp := c.obsBatchNode.Start()
 	forward := c.sink != nil && rec.Instrumented
 	var runObj *Object
 	runStart := 0
@@ -269,6 +293,9 @@ func (c *Collector) OnAccessBatch(rec *gpu.APIRecord, batch []gpu.MemAccess) {
 	if forward {
 		c.flushRun(rec, runObj, batch[runStart:])
 	}
+	c.obsRec.Add(obs.CtrAccessBatches, 1)
+	c.obsRec.Add(obs.CtrAccesses, uint64(len(batch)))
+	sp.End()
 }
 
 // flushRun forwards one same-object run to the sink: a single call for
