@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet fmt lint api bench cover
+.PHONY: check build test race vet fmt lint api bench bench-streaming cover
 
 # check is the tier-1 verify gate (see ROADMAP.md): static checks, the
 # invariant linter suite, the public API surface lock, the full test
@@ -49,6 +49,15 @@ api:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# bench-streaming measures the streaming pipeline (ingest ns/op, snapshot
+# ns/op, resident bytes, offline counterparts) and writes
+# BENCH_streaming.json. CI publishes it from the bench-smoke step; the
+# EXPERIMENTS.md streaming appendix records representative values.
+bench-streaming:
+	@echo "== bench-streaming =="
+	$(GO) run ./cmd/drgpum-bench -out BENCH_streaming.json
+	@cat BENCH_streaming.json
 
 # cover runs the test suite with coverage of every package (not just the
 # one under test) and prints the per-function summary. cover.out is

@@ -1,0 +1,168 @@
+// Command drgpum-bench measures the streaming windowed-analysis pipeline
+// against the offline one on a training-loop-shaped long run (persistent
+// weights, a freed-per-epoch activation, one instrumented kernel per epoch
+// — the dnnpool/multistream shape) and writes the numbers as JSON.
+//
+// The emitted metrics are the streaming acceptance set: ingestion cost per
+// GPU API, mid-run Snapshot cost for both pipelines, and the collector's
+// resident heap footprint after collection for both pipelines. CI runs
+// this as the bench-smoke step's artifact (BENCH_streaming.json); the
+// EXPERIMENTS.md streaming appendix records representative values.
+//
+// Usage:
+//
+//	drgpum-bench [-out BENCH_streaming.json] [-epochs N] [-window N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"drgpum/internal/core"
+	"drgpum/internal/gpu"
+)
+
+// activationFloats sizes the per-epoch activation tensor (float32 elements).
+const activationFloats = 16 * 1024
+
+// Result is the JSON document drgpum-bench emits.
+type Result struct {
+	// WindowKernels is the streaming kernel-epoch length used.
+	WindowKernels int `json:"window_kernels"`
+	// Epochs is the training-loop length; APIs counts the GPU APIs one run
+	// issues.
+	Epochs int `json:"epochs"`
+	APIs   int `json:"apis"`
+	// IngestNsPerOp is the streaming run's collection wall time divided by
+	// its API count: what arrival-time analysis costs per GPU API.
+	IngestNsPerOp int64 `json:"ingest_ns_per_op"`
+	// IngestOfflineNsPerOp is the same for the offline pipeline (collection
+	// only; its analysis bill comes due at Snapshot/Finish instead).
+	IngestOfflineNsPerOp int64 `json:"ingest_offline_ns_per_op"`
+	// SnapshotNsPerOp and SnapshotOfflineNsPerOp time a mid-run Snapshot
+	// over the collected state under each pipeline.
+	SnapshotNsPerOp        int64 `json:"snapshot_ns_per_op"`
+	SnapshotOfflineNsPerOp int64 `json:"snapshot_offline_ns_per_op"`
+	// ResidentBytes and ResidentOfflineBytes are the live-heap growth over
+	// the pre-attach baseline after collection (GC'd, profiler attached).
+	ResidentBytes        uint64 `json:"resident_bytes"`
+	ResidentOfflineBytes uint64 `json:"resident_offline_bytes"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drgpum-bench: ")
+	var (
+		out    = flag.String("out", "BENCH_streaming.json", "output JSON path (- for stdout)")
+		epochs = flag.Int("epochs", 64, "training-loop epochs (one kernel each)")
+		window = flag.Int("window", 8, "streaming kernel-epoch length")
+	)
+	flag.Parse()
+
+	res := Result{WindowKernels: *window, Epochs: *epochs}
+	for _, stream := range []bool{true, false} {
+		ingest, snapshot, resident, apis := measure(*epochs, *window, stream)
+		res.APIs = apis
+		if stream {
+			res.IngestNsPerOp = ingest
+			res.SnapshotNsPerOp = snapshot
+			res.ResidentBytes = resident
+		} else {
+			res.IngestOfflineNsPerOp = ingest
+			res.SnapshotOfflineNsPerOp = snapshot
+			res.ResidentOfflineBytes = resident
+		}
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// measure runs the training loop under one pipeline and returns ingest
+// ns/op, snapshot ns/op, resident bytes, and the API count.
+func measure(epochs, window int, stream bool) (ingest, snapshot int64, resident uint64, apis int) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	dev := gpu.NewDevice(gpu.SpecRTX3090())
+	cfg := core.IntraObjectConfig()
+	if stream {
+		cfg.Streaming = core.StreamingConfig{Enabled: true, WindowKernels: window}
+	}
+	prof := core.Attach(dev, cfg)
+
+	start := time.Now()
+	trainingLoop(dev, prof, epochs)
+	collectWall := time.Since(start)
+	apis = len(prof.Collector().Trace().APIs)
+	ingest = collectWall.Nanoseconds() / int64(apis)
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc {
+		resident = after.HeapAlloc - before.HeapAlloc
+	}
+
+	const snaps = 10
+	start = time.Now()
+	for i := 0; i < snaps; i++ {
+		prof.Snapshot()
+	}
+	snapshot = time.Since(start).Nanoseconds() / snaps
+	prof.Finish()
+	return ingest, snapshot, resident, apis
+}
+
+// trainingLoop is the benchmark workload: persistent weights plus a
+// freed-per-epoch activation, touched stride-8 by one kernel per epoch.
+func trainingLoop(dev *gpu.Device, prof *core.Profiler, epochs int) {
+	weights, err := dev.Malloc(4 * activationFloats)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof.Annotate(weights, "weights", 4)
+	for e := 0; e < epochs; e++ {
+		act, err := dev.Malloc(4 * activationFloats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof.Annotate(act, fmt.Sprintf("activation_%03d", e), 4)
+		if err := dev.Memset(act, 0, 4*activationFloats, nil); err != nil {
+			log.Fatal(err)
+		}
+		err = dev.LaunchFunc(nil, "train_step", gpu.Dim1(1), gpu.Dim1(64), func(ctx *gpu.ExecContext) {
+			for i := 0; i < activationFloats; i += 8 {
+				w := ctx.LoadF32(weights + gpu.DevicePtr(4*i))
+				ctx.StoreF32(act+gpu.DevicePtr(4*i), w+float32(e))
+				ctx.StoreF32(weights+gpu.DevicePtr(4*i), w+1)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dev.Free(act); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := dev.Free(weights); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	drgpum -workload rodinia/huffman [-variant naive|optimized]
 //	       [-device rtx3090|a100] [-mode object|intra] [-sampling N]
+//	       [-stream] [-window N] [-heatmap]
 //	       [-json] [-verbose] [-timeline] [-memcheck] [-stats]
 //	       [-gui liveness.json] [-html report.html] [-save profile.json]
 //	drgpum -workload polybench/2mm -diff
@@ -50,6 +51,9 @@ func main() {
 		stats    = flag.Bool("stats", false, "enable self-observability and print the profiler's own phase/counter summary after the report")
 		diff     = flag.Bool("diff", false, "profile both variants and summarize the optimization outcome")
 		timeline = flag.Bool("timeline", false, "draw the object-lifetime timeline (the paper's Figure 2 view) after the report")
+		stream   = flag.Bool("stream", false, "stream the analysis: finalize per kernel-epoch with bounded collector memory (same report, plus a temporal heat map)")
+		window   = flag.Int("window", 0, "streaming kernel-epoch length (0 = default)")
+		heatmap  = flag.Bool("heatmap", false, "draw the temporal heat map after the report (implies -stream)")
 	)
 	flag.Parse()
 
@@ -97,6 +101,9 @@ func main() {
 		log.Fatalf("unknown mode %q (want object or intra)", *mode)
 	}
 
+	if *heatmap {
+		*stream = true
+	}
 	if *diff {
 		runDiff(w, spec, level, *sampling)
 		return
@@ -108,19 +115,22 @@ func main() {
 		// Self-observability runs on a private engine with a master
 		// recorder; the report carries its own run-local snapshot.
 		res, rerr := engine.New(engine.Config{Obs: obs.New()}).Run([]engine.RunSpec{{
-			Workload: w,
-			Spec:     spec,
-			Variant:  v,
-			Level:    level,
-			Sampling: *sampling,
-			Opts:     engine.RunOpts{Memcheck: *memcheck},
+			Workload:  w,
+			Spec:      spec,
+			Variant:   v,
+			Level:     level,
+			Sampling:  *sampling,
+			Streaming: *stream,
+			Window:    *window,
+			Opts:      engine.RunOpts{Memcheck: *memcheck},
 		}})
 		if rerr != nil {
 			log.Fatal(rerr)
 		}
 		rep = res[0].Report
 	} else {
-		rep, err = tables.ProfileWith(w, spec, v, level, *sampling, tables.ProfileOpts{Memcheck: *memcheck})
+		rep, err = tables.ProfileWith(w, spec, v, level, *sampling,
+			tables.ProfileOpts{Memcheck: *memcheck, Stream: *stream, Window: *window})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -138,6 +148,10 @@ func main() {
 		if *timeline {
 			fmt.Println()
 			rep.RenderTimeline(os.Stdout)
+		}
+		if *heatmap {
+			fmt.Println()
+			rep.RenderHeatMap(os.Stdout)
 		}
 		if *stats {
 			fmt.Println()

@@ -218,6 +218,36 @@ func WithSequentialAnalysis() Option {
 	return func(c *Config) { c.SequentialAnalysis = true }
 }
 
+// StreamingConfig configures windowed streaming analysis
+// (Config.Streaming). See core.StreamingConfig.
+type StreamingConfig = core.StreamingConfig
+
+// HeatMap is the temporal heat map a streaming run attaches to its report
+// (Report.Heat): per kernel-epoch, how many GPU APIs touched each object.
+// See core.HeatMap.
+type HeatMap = core.HeatMap
+
+// HeatEpoch is one closed kernel-epoch window of a HeatMap.
+type HeatEpoch = core.HeatEpoch
+
+// HeatCell is one object's touch count within a HeatEpoch.
+type HeatCell = core.HeatCell
+
+// WithStreaming enables streaming windowed analysis: liveness, peak and
+// intra-object state are finalized incrementally as kernel-epoch windows
+// close, raw per-invocation payloads are retired so collector memory stays
+// bounded by the open window, and the report gains a temporal heat map
+// (Report.Heat, Report.RenderHeatMap). The findings and summary are
+// byte-identical to an offline run. windowKernels is the epoch length in
+// kernel launches (<= 0 selects the default, core.DefaultWindowKernels).
+// Streamed reports cannot be saved as profiles (the access history is
+// gone); use an offline run for FormatProfile.
+func WithStreaming(windowKernels int) Option {
+	return func(c *Config) {
+		c.Streaming = StreamingConfig{Enabled: true, WindowKernels: windowKernels}
+	}
+}
+
 // Attach hooks a profiler up to a device and enables instrumentation at the
 // configured level. Call it before the monitored GPU activity starts. It is
 // equivalent to New(dev, WithConfig(cfg)).

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"drgpum/internal/trace"
+)
+
+// heatMaxRows and heatMaxCols bound the text heat-map render the same way
+// timelineMaxColumns bounds the timeline: long runs clip with a note.
+const (
+	heatMaxRows = 24
+	heatMaxCols = 64
+)
+
+// heatRamp maps relative access intensity to a glyph, blank for untouched.
+const heatRamp = " .:-=+*#%@"
+
+// RenderHeatMap draws the temporal heat map of a streaming run as text: one
+// row per object (hottest first), one column per kernel-epoch window, each
+// cell's glyph scaled by how many GPU APIs of that epoch touched the object.
+// It is the CUTHERMO-style object×time view of where access activity
+// concentrates; RenderTimeline shows lifetimes per timestamp, this shows
+// intensity per epoch. Offline reports have no heat map (nil Report.Heat).
+func (r *Report) RenderHeatMap(w io.Writer) {
+	if r.Heat == nil {
+		fmt.Fprintln(w, "(no heat map — profile with streaming enabled)")
+		return
+	}
+	h := r.Heat
+	if len(h.Epochs) == 0 {
+		fmt.Fprintln(w, "(no closed epochs)")
+		return
+	}
+
+	cols := len(h.Epochs)
+	colsClipped := cols > heatMaxCols
+	if colsClipped {
+		cols = heatMaxCols
+	}
+
+	// Rank objects by total touches across the rendered epochs (desc, then
+	// ID asc) and find the scaling maximum.
+	totals := make(map[trace.ObjectID]uint64)
+	var maxCell uint64
+	for e := 0; e < cols; e++ {
+		for _, c := range h.Epochs[e].Cells {
+			totals[c.Object] += c.Touches
+			if c.Touches > maxCell {
+				maxCell = c.Touches
+			}
+		}
+	}
+	ids := make([]trace.ObjectID, 0, len(totals))
+	for id := range totals {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if totals[ids[i]] != totals[ids[j]] {
+			return totals[ids[i]] > totals[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	rowsClipped := len(ids) > heatMaxRows
+	if rowsClipped {
+		ids = ids[:heatMaxRows]
+	}
+
+	nameWidth := 12
+	for _, id := range ids {
+		if n := len(r.Trace.Object(id).DisplayName()); n > nameWidth {
+			nameWidth = n
+		}
+	}
+
+	fmt.Fprintf(w, "temporal heat map — %d epoch(s) of %d kernel(s) each\n",
+		len(h.Epochs), h.WindowKernels)
+	fmt.Fprintf(w, "%-*s  epoch 0..%d\n", nameWidth, "", cols-1)
+	for _, id := range ids {
+		row := make([]byte, cols)
+		for e := 0; e < cols; e++ {
+			row[e] = heatRamp[0]
+			for _, c := range h.Epochs[e].Cells {
+				if c.Object == id {
+					row[e] = heatGlyph(c.Touches, maxCell)
+					break
+				}
+				if c.Object > id {
+					break // cells are sorted by object
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-*s  %s  (%d touches)\n",
+			nameWidth, r.Trace.Object(id).DisplayName(), string(row), totals[id])
+	}
+	fmt.Fprintf(w, "%-*s  intensity: '%s' (low..high)\n", nameWidth, "", heatRamp[1:])
+	if colsClipped {
+		fmt.Fprintf(w, "%-*s  (clipped: showing %d of %d epochs)\n",
+			nameWidth, "", cols, len(h.Epochs))
+	}
+	if rowsClipped {
+		fmt.Fprintf(w, "%-*s  (clipped: showing the %d hottest of %d objects)\n",
+			nameWidth, "", heatMaxRows, len(totals))
+	}
+}
+
+// heatGlyph scales a cell's touch count against the map maximum.
+func heatGlyph(touches, maxCell uint64) byte {
+	if touches == 0 || maxCell == 0 {
+		return heatRamp[0]
+	}
+	idx := 1 + int(touches*uint64(len(heatRamp)-2)/maxCell)
+	if idx >= len(heatRamp) {
+		idx = len(heatRamp) - 1
+	}
+	return heatRamp[idx]
+}

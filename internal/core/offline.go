@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"io"
 	"sort"
 
@@ -14,10 +15,18 @@ import (
 	"drgpum/internal/trace"
 )
 
+// errStreamedProfile is returned by SaveProfile for streamed traces.
+var errStreamedProfile = errors.New("core: streamed trace has retired its access history; profiles require an offline (non-streaming) run")
+
 // SaveProfile serializes the report's trace and run metadata as a profile
 // file that AnalyzeProfile can re-analyze later — the persistent form of
-// the paper's online-collector/offline-analyzer split (§4).
+// the paper's online-collector/offline-analyzer split (§4). Streamed traces
+// cannot be saved: window retirement already discarded the per-invocation
+// payloads a profile round-trips.
 func (r *Report) SaveProfile(w io.Writer) error {
+	if r.Trace.Streamed {
+		return errStreamedProfile
+	}
 	return profile.Save(r.Trace, profile.Meta{
 		Device:    r.Device,
 		Cycles:    r.Elapsed,

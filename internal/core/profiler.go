@@ -66,6 +66,11 @@ type Config struct {
 	// debugging and for environments where the analyzer must not spawn
 	// goroutines.
 	SequentialAnalysis bool
+	// Streaming enables incremental kernel-epoch analysis with bounded
+	// collector memory and a temporal heat map (Report.Heat). Finish
+	// reports stay byte-identical to the offline pipeline; see
+	// StreamingConfig.
+	Streaming StreamingConfig
 }
 
 // DefaultConfig returns the paper's experimental settings at object-level
@@ -96,6 +101,12 @@ type Profiler struct {
 	collector *trace.Collector
 	recorder  *intraobj.Recorder
 	checker   *memcheck.Checker
+	window    *windowManager // nil unless Config.Streaming.Enabled
+
+	// whitelist and samplePeriod are the instrument-filter inputs, built
+	// once at Attach so the filter closure never reconstructs them.
+	whitelist    map[string]bool
+	samplePeriod uint64
 
 	// obs is Config.Obs (possibly nil); the *Pub fields track how much of
 	// each cumulative device statistic has already been published, so
@@ -142,6 +153,12 @@ func Attach(dev *gpu.Device, cfg Config) *Profiler {
 	// not the raw allocator, so pool tensors (paper §5.4) resolve correctly.
 	dev.SetLiveRangesProvider(p.collector.LiveRanges)
 	dev.AddHook(p.collector)
+	if cfg.Streaming.Enabled {
+		// After the collector: the window manager's OnAPI must see the
+		// just-appended APIInfo with final touch sets.
+		p.window = newWindowManager(p.collector.Trace(), p.recorder, cfg)
+		dev.AddHook(p.window)
+	}
 	dev.SetPatchLevel(cfg.Level)
 	attachSpan.End()
 	return p
@@ -165,21 +182,25 @@ func (p *Profiler) AttachPool(pl pool.Observable) {
 	})
 }
 
-// instrumentFilter combines the kernel whitelist and sampling period.
+// instrumentFilter combines the kernel whitelist and sampling period. The
+// map and period are built once (first call) and reused, so repeated
+// attach/filter paths don't reconstruct them.
 func (p *Profiler) instrumentFilter() func(kernel string, launch uint64) bool {
-	whitelist := make(map[string]bool, len(p.cfg.KernelWhitelist))
-	for _, k := range p.cfg.KernelWhitelist {
-		whitelist[k] = true
-	}
-	period := uint64(1)
-	if p.cfg.SamplingPeriod > 1 {
-		period = uint64(p.cfg.SamplingPeriod)
+	if p.whitelist == nil {
+		p.whitelist = make(map[string]bool, len(p.cfg.KernelWhitelist))
+		for _, k := range p.cfg.KernelWhitelist {
+			p.whitelist[k] = true
+		}
+		p.samplePeriod = 1
+		if p.cfg.SamplingPeriod > 1 {
+			p.samplePeriod = uint64(p.cfg.SamplingPeriod)
+		}
 	}
 	return func(kernel string, launch uint64) bool {
-		if len(whitelist) > 0 && !whitelist[kernel] {
+		if len(p.whitelist) > 0 && !p.whitelist[kernel] {
 			return false
 		}
-		return launch%period == 0
+		return launch%p.samplePeriod == 0
 	}
 }
 
@@ -211,6 +232,10 @@ func (p *Profiler) Collector() *trace.Collector { return p.collector }
 // report. It is idempotent in effect but must not race with device use.
 func (p *Profiler) Finish() *Report {
 	p.dev.SetPatchLevel(gpu.PatchNone)
+	if p.window != nil {
+		// Close the trailing partial window; no more APIs can arrive.
+		p.window.finish()
+	}
 	return p.analyze()
 }
 
@@ -256,15 +281,43 @@ func (p *Profiler) analyze() *Report {
 	anSpan := an.Start()
 	t := p.collector.Trace()
 
+	// Streaming runs the same stages over incrementally maintained state:
+	// timestamps and the dependency summary were assigned at arrival, the
+	// peak miner runs over a timeline bounded by the tracked maximum
+	// timestamp, and the object-level detectors read the arrival-time
+	// accumulator instead of walking (possibly compacted) access lists.
+	// Each branch funnels into the code path the offline pipeline uses, so
+	// reports stay byte-identical (pinned by the streaming determinism
+	// tests).
 	var g *depgraph.Graph
-	staged(an, "depgraph", func() { g = depgraph.Annotate(t) })
+	if p.window != nil {
+		staged(an, "depgraph", func() { g = p.window.inc.Graph() })
+	} else {
+		staged(an, "depgraph", func() { g = depgraph.Annotate(t) })
+	}
 
 	var pk *peak.Analysis
 	var objFindings, intraFindings []pattern.Finding
 	var modeStats intraobj.ModeStats
 	p.runStages(
-		func() { staged(an, "peak", func() { pk = peak.Analyze(t, p.cfg.TopPeaks) }) },
-		func() { staged(an, "objlevel", func() { objFindings = objlevel.Detect(t, p.cfg.ObjLevel) }) },
+		func() {
+			staged(an, "peak", func() {
+				if p.window != nil {
+					pk = peak.AnalyzeTimeline(t, p.cfg.TopPeaks, t.LiveBytesTimelineTo(p.window.maxTopo))
+				} else {
+					pk = peak.Analyze(t, p.cfg.TopPeaks)
+				}
+			})
+		},
+		func() {
+			staged(an, "objlevel", func() {
+				if p.window != nil {
+					objFindings = objlevel.DetectStreamed(t, p.cfg.ObjLevel, p.window.acc)
+				} else {
+					objFindings = objlevel.Detect(t, p.cfg.ObjLevel)
+				}
+			})
+		},
 		func() {
 			if p.recorder != nil {
 				staged(an, "intraobj", func() {
@@ -326,6 +379,9 @@ func (p *Profiler) analyze() *Report {
 		Recorder:  p.recorder,
 		Advice:    advice,
 		Memcheck:  mc,
+	}
+	if p.window != nil {
+		rep.Heat = p.window.Heat()
 	}
 	if p.obs.Enabled() {
 		p.publishCounters(rep, pk)

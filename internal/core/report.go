@@ -50,6 +50,12 @@ type Report struct {
 	// (FormatStats); wall-clock totals live only here, never in the
 	// byte-identity report text.
 	Obs *obs.Snapshot
+	// Heat is the temporal object×epoch heat map a streaming run
+	// accumulated (nil unless Config.Streaming.Enabled). Render with
+	// RenderHeatMap or view the GUI export's heat track. Deliberately
+	// outside Render and MarshalJSON, which stay byte-identical between
+	// streaming and offline runs.
+	Heat *HeatMap
 }
 
 // HasPattern reports whether any finding matches the pattern.

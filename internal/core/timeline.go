@@ -18,6 +18,10 @@ import (
 // The API lane above the grid prints each timestamp's API label vertically
 // abbreviated as its kind initial (A=alloc, F=free, C=copy, S=set,
 // K=kernel; '*' when several APIs share a timestamp across streams).
+//
+// Long traces are clipped at timelineMaxColumns timestamps (with a note),
+// so the render — and its per-row buffers — stays bounded instead of
+// growing one column per timestamp.
 func (r *Report) RenderTimeline(w io.Writer) {
 	var maxTopo uint64
 	for _, a := range r.Trace.APIs {
@@ -25,10 +29,15 @@ func (r *Report) RenderTimeline(w io.Writer) {
 			maxTopo = a.Topo
 		}
 	}
-	width := int(maxTopo) + 1
-	if width == 0 || len(r.Trace.APIs) == 0 {
+	full := int(maxTopo) + 1
+	if full == 0 || len(r.Trace.APIs) == 0 {
 		fmt.Fprintln(w, "(empty trace)")
 		return
+	}
+	width := full
+	clipped := width > timelineMaxColumns
+	if clipped {
+		width = timelineMaxColumns
 	}
 
 	// API lane: kind initials per timestamp.
@@ -37,6 +46,9 @@ func (r *Report) RenderTimeline(w io.Writer) {
 		lane[i] = ' '
 	}
 	for _, a := range r.Trace.APIs {
+		if a.Topo >= uint64(width) {
+			continue
+		}
 		c := a.Rec.Kind.String()[0] // A, F, C, S, K
 		if lane[a.Topo] == ' ' {
 			lane[a.Topo] = c
@@ -81,25 +93,37 @@ func (r *Report) RenderTimeline(w io.Writer) {
 			row[c] = ' '
 		}
 		start := r.Trace.API(o.AllocAPI).Topo
-		end := uint64(width - 1)
+		end := uint64(full - 1)
 		if o.Freed() {
 			end = r.Trace.API(uint64(o.FreeAPI)).Topo
 		}
 		for ts := start; ts <= end && ts < uint64(width); ts++ {
 			row[ts] = '-'
 		}
-		row[start] = '['
-		if o.Freed() {
+		if start < uint64(width) {
+			row[start] = '['
+		}
+		if o.Freed() && end < uint64(width) {
 			row[end] = ']'
 		}
 		for _, ev := range o.Accesses {
-			row[r.Trace.API(ev.API).Topo] = 'x'
+			if ts := r.Trace.API(ev.API).Topo; ts < uint64(width) {
+				row[ts] = 'x'
+			}
 		}
 		fmt.Fprintf(w, "%-*s  %s\n", nameWidth, o.DisplayName(), string(row))
 	}
 	fmt.Fprintf(w, "%-*s  %s\n", nameWidth, "",
 		legendFor(width))
+	if clipped {
+		fmt.Fprintf(w, "%-*s  (clipped: showing T=0..%d of %d timestamps)\n",
+			nameWidth, "", width-1, full)
+	}
 }
+
+// timelineMaxColumns bounds the rendered timestamp columns; beyond it the
+// grid is clipped with a note instead of producing arbitrarily wide rows.
+const timelineMaxColumns = 160
 
 // legendFor prints the legend, trimmed to the grid width when narrow.
 func legendFor(width int) string {

@@ -68,6 +68,10 @@ type Graph struct {
 	// succ and indegree are derived adjacency state used by Sort.
 	succ     [][]uint64
 	indegree []int
+	// histo is the per-kind edge count of a summary graph produced by
+	// Incremental.Graph, which carries no edge list.
+	histo    [4]int
+	hasHisto bool
 }
 
 // Build constructs the dependency graph for a trace per Definition 5.1.
@@ -233,6 +237,12 @@ func (g *Graph) Validate(t *trace.Trace) *Edge {
 // kindHisto summarizes edges by kind (used by String).
 func (g *Graph) kindHisto() map[EdgeKind]int {
 	h := make(map[EdgeKind]int)
+	if g.hasHisto {
+		for k, n := range g.histo {
+			h[EdgeKind(k)] = n
+		}
+		return h
+	}
 	for _, e := range g.Edges {
 		h[e.Kind]++
 	}

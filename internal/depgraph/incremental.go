@@ -1,0 +1,174 @@
+package depgraph
+
+import (
+	"sort"
+
+	"drgpum/internal/gpu"
+	"drgpum/internal/trace"
+)
+
+// Incremental assigns topological timestamps at API arrival, producing the
+// exact timestamps Annotate computes offline — without materializing edges.
+//
+// The equivalence rests on two facts about Build/Sort:
+//
+//  1. Level-synchronous Kahn assigns each vertex the longest-path level:
+//     topo(v) = max over predecessors u of topo(u)+1, or 0 with no
+//     predecessors. Every dependency edge points from a lower invocation
+//     index to a higher one, so when v arrives all its predecessors already
+//     carry final timestamps and topo(v) is computable on the spot.
+//
+//  2. Build deduplicates parallel edges globally, keeping the first kind
+//     added in its phase order: all intra-stream edges, then per object in
+//     ascending ID, and within one vertex's event RAW before WAW before the
+//     WARs in reader order. Every edge into vertex v is added while Build
+//     processes v's own event (to == v throughout), so replaying that exact
+//     order per arriving vertex with a per-vertex dedup set keyed by the
+//     source reproduces both the edge set (hence the timestamps) and the
+//     per-kind histogram.
+//
+// Resident state is O(streams + live objects): per-stream last vertex and,
+// per live object, the last writer plus the readers since that write (the
+// one component proportional to access fan-out rather than liveness — one
+// word per reader between consecutive writes).
+type Incremental struct {
+	n            int
+	lastInStream map[int]uint64
+	objs         map[trace.ObjectID]*objDep
+	// seen dedups edges into the vertex currently being observed, keyed by
+	// source vertex (the target is always the current vertex).
+	seen  map[uint64]EdgeKind
+	histo [4]int
+	// merged is scratch for the sorted union of an API's touch sets.
+	merged []trace.ObjectID
+}
+
+// objDep is the per-object tail state of Build's phase-2 walk.
+type objDep struct {
+	lastWriter        uint64
+	hasWriter         bool
+	readersSinceWrite []uint64
+}
+
+// NewIncremental creates an empty incremental annotator.
+func NewIncremental() *Incremental {
+	return &Incremental{
+		lastInStream: make(map[int]uint64),
+		objs:         make(map[trace.ObjectID]*objDep),
+		seen:         make(map[uint64]EdgeKind),
+	}
+}
+
+// Observe ingests the API at t.APIs[rec.Index], assigns its final
+// topological timestamp, and folds its dependency edges into the histogram.
+// It must be called once per API in invocation order, after the collector
+// appended the APIInfo (so touch sets and lifetime endpoints are final).
+func (inc *Incremental) Observe(t *trace.Trace, info *trace.APIInfo) {
+	idx := info.Rec.Index
+	clear(inc.seen)
+	var topo uint64
+
+	addEdge := func(from uint64, kind EdgeKind) {
+		if from == idx {
+			return
+		}
+		if _, dup := inc.seen[from]; dup {
+			return
+		}
+		inc.seen[from] = kind
+		inc.histo[kind]++
+		if lvl := t.APIs[from].Topo + 1; lvl > topo {
+			topo = lvl
+		}
+	}
+
+	// (1) Intra-stream program order.
+	if prev, ok := inc.lastInStream[info.Rec.Stream]; ok {
+		addEdge(prev, EdgeIntraStream)
+	}
+	inc.lastInStream[info.Rec.Stream] = idx
+
+	// (2) Data dependencies, exactly Build's per-object tail transitions.
+	connectWrite := func(d *objDep) {
+		if d.hasWriter {
+			addEdge(d.lastWriter, EdgeWAW)
+		}
+		for _, r := range d.readersSinceWrite {
+			addEdge(r, EdgeWAR)
+		}
+		d.readersSinceWrite = d.readersSinceWrite[:0]
+		d.lastWriter = idx
+		d.hasWriter = true
+	}
+
+	switch {
+	case info.Rec.Kind == gpu.APIMalloc && info.HasObj:
+		// The allocation is the object's initial writer; no edge yet.
+		inc.objs[info.Obj] = &objDep{lastWriter: idx, hasWriter: true}
+
+	case info.Rec.Kind == gpu.APIFree && info.HasObj:
+		if d := inc.objs[info.Obj]; d != nil {
+			connectWrite(d)
+			delete(inc.objs, info.Obj)
+		}
+
+	default:
+		// Build visits objects in ascending ID; the touch sets are in
+		// first-touch order, so union and sort them so edge-dedup winners
+		// (and the histogram) match.
+		inc.merged = unionSorted(inc.merged[:0], info.ReadObjs, info.WriteObjs)
+		for _, id := range inc.merged {
+			d := inc.objs[id]
+			if d == nil {
+				continue // freed or pool-delisted before this arrival
+			}
+			read := containsID(info.ReadObjs, id)
+			write := containsID(info.WriteObjs, id)
+			if read && d.hasWriter {
+				addEdge(d.lastWriter, EdgeRAW)
+			}
+			if write {
+				connectWrite(d)
+			} else if read {
+				d.readersSinceWrite = append(d.readersSinceWrite, idx)
+			}
+		}
+	}
+
+	info.Topo = topo
+	inc.n++
+}
+
+// Graph returns a summary graph carrying the vertex count and the per-kind
+// edge histogram. It has no edge list or adjacency — Sort and Validate are
+// not usable on it — but String renders identically to the offline graph's.
+func (inc *Incremental) Graph() *Graph {
+	g := &Graph{N: inc.n, hasHisto: true}
+	g.histo = inc.histo
+	return g
+}
+
+// unionSorted unions two touch sets (each duplicate-free but in first-touch
+// order) into dst, ascending by ID.
+func unionSorted(dst, a, b []trace.ObjectID) []trace.ObjectID {
+	dst = append(dst, a...)
+	for _, id := range b {
+		if !containsID(dst, id) {
+			dst = append(dst, id)
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
+}
+
+// containsID reports membership in a tiny touch set (linear scan, same
+// trade-off as the collector's appendUnique; sets are in first-touch order,
+// so no early exit).
+func containsID(s []trace.ObjectID, id trace.ObjectID) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

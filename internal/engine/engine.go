@@ -101,7 +101,13 @@ type RunSpec struct {
 	// Sampling is the intra-object kernel sampling period (<=1 means
 	// every launch).
 	Sampling int
-	Opts     RunOpts
+	// Streaming runs a ModeProfile body with the streaming window manager
+	// (core.Config.Streaming): incremental analysis, bounded collector
+	// memory, temporal heat map. Window is the kernel-epoch length
+	// (<= 0 selects the core default).
+	Streaming bool
+	Window    int
+	Opts      RunOpts
 }
 
 // BaselineResult is what a ModeBaselines run detects.
@@ -184,24 +190,28 @@ type Engine struct {
 
 // key is the memoization key: the full run configuration.
 type key struct {
-	mode     Mode
-	workload string
-	spec     gpu.DeviceSpec
-	variant  workloads.Variant
-	level    gpu.PatchLevel
-	sampling int
-	memcheck bool
+	mode      Mode
+	workload  string
+	spec      gpu.DeviceSpec
+	variant   workloads.Variant
+	level     gpu.PatchLevel
+	sampling  int
+	streaming bool
+	window    int
+	memcheck  bool
 }
 
 func keyOf(s RunSpec) key {
 	return key{
-		mode:     s.Mode,
-		workload: s.Workload.Name,
-		spec:     s.Spec,
-		variant:  s.Variant,
-		level:    s.Level,
-		sampling: s.Sampling,
-		memcheck: s.Opts.Memcheck,
+		mode:      s.Mode,
+		workload:  s.Workload.Name,
+		spec:      s.Spec,
+		variant:   s.Variant,
+		level:     s.Level,
+		sampling:  s.Sampling,
+		streaming: s.Streaming,
+		window:    s.Window,
+		memcheck:  s.Opts.Memcheck,
 	}
 }
 

@@ -48,6 +48,9 @@ func execProfile(s RunSpec, rec *obs.Recorder) Result {
 	if s.Level == gpu.PatchFull {
 		cfg.KernelWhitelist = s.Workload.IntraKernels
 	}
+	if s.Streaming {
+		cfg.Streaming = core.StreamingConfig{Enabled: true, WindowKernels: s.Window}
+	}
 	prof := core.Attach(dev, cfg)
 	if err := s.Workload.Run(dev, prof, s.Variant); err != nil {
 		return Result{Err: fmt.Errorf("%s (%s): %w", s.Workload.Name, s.Variant, err)}

@@ -33,6 +33,7 @@ const (
 	pidObjects = 2
 	pidMemory  = 3
 	pidObs     = 4
+	pidHeat    = 5
 )
 
 // init registers this package's renderers with the unified exporter
@@ -195,6 +196,7 @@ func Export(rep *core.Report, w io.Writer) error {
 	}
 
 	appendObsTrack(&doc, rep.Obs)
+	appendHeatTrack(&doc, rep)
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -263,6 +265,66 @@ func obsSpanWidth(n obs.SpanNode) uint64 {
 		w = kids
 	}
 	return w
+}
+
+// heatTrackObjects bounds how many object lanes the heat track shows.
+const heatTrackObjects = 16
+
+// appendHeatTrack adds the temporal heat map of a streaming run as a
+// counter process next to the obs track: one counter per hot object, sampled
+// once per kernel-epoch at the epoch's first timestamp, so Perfetto draws
+// each object's access intensity over time under the API panes. Offline
+// reports carry no heat map and the track is omitted entirely.
+func appendHeatTrack(doc *document, rep *core.Report) {
+	h := rep.Heat
+	if h == nil || len(h.Epochs) == 0 {
+		return
+	}
+
+	// Hottest objects across all epochs (total touches desc, ID asc).
+	totals := make(map[trace.ObjectID]uint64)
+	for _, e := range h.Epochs {
+		for _, c := range e.Cells {
+			totals[c.Object] += c.Touches
+		}
+	}
+	ids := make([]trace.ObjectID, 0, len(totals))
+	for id := range totals {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if totals[ids[i]] != totals[ids[j]] {
+			return totals[ids[i]] > totals[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > heatTrackObjects {
+		ids = ids[:heatTrackObjects]
+	}
+
+	doc.TraceEvents = append(doc.TraceEvents,
+		metaEvent(pidHeat, fmt.Sprintf("Temporal heat map (%d-kernel epochs)", h.WindowKernels)))
+
+	for _, id := range ids {
+		name := rep.Trace.Object(id).DisplayName() + " touches"
+		for _, e := range h.Epochs {
+			var touches uint64
+			for _, c := range e.Cells {
+				if c.Object == id {
+					touches = c.Touches
+					break
+				}
+				if c.Object > id {
+					break // cells are sorted by object
+				}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, event{
+				Name: name, Phase: "C",
+				Ts: rep.Trace.API(e.FirstAPI).Topo, Pid: pidHeat, Tid: 0,
+				Args: map[string]any{"touches": touches},
+			})
+		}
+	}
 }
 
 // patternLines renders the bottom-pane detail text for a set of findings.

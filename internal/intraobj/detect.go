@@ -50,9 +50,9 @@ func (r *Recorder) Detect(cfg Config) []pattern.Finding {
 
 		// Overallocation (Definition 3.8) with the Equation 1 fragmentation
 		// metric attached for Table 2 guidance.
-		accessed := st.total.AccessedPct()
-		if accessed < cfg.OverallocThreshold && st.total.Fragmentation() < cfg.OverallocFragThreshold {
-			unaccessedElems := st.elems - st.total.Count()
+		accessed := st.accessedPct()
+		if accessed < cfg.OverallocThreshold && st.fragPct() < cfg.OverallocFragThreshold {
+			unaccessedElems := st.elems - st.accessedCount()
 			es := uint64(st.obj.ElemSize)
 			if es == 0 {
 				es = 4
@@ -61,7 +61,7 @@ func (r *Recorder) Detect(cfg Config) []pattern.Finding {
 				Pattern:          pattern.Overallocation,
 				Object:           st.obj.ID,
 				AccessedPct:      accessed,
-				FragmentationPct: st.total.Fragmentation(),
+				FragmentationPct: st.fragPct(),
 				WastedBytes:      uint64(unaccessedElems) * es,
 			})
 		}
@@ -99,10 +99,36 @@ func (r *Recorder) Detect(cfg Config) []pattern.Finding {
 	return out
 }
 
+// accessedPct, fragPct and accessedCount read the cumulative-bitmap metrics,
+// from the frozen summary for sealed objects.
+func (st *objState) accessedPct() float64 {
+	if st.sealed != nil {
+		return st.sealed.accessedPct
+	}
+	return st.total.AccessedPct()
+}
+
+func (st *objState) fragPct() float64 {
+	if st.sealed != nil {
+		return st.sealed.fragPct
+	}
+	return st.total.Fragmentation()
+}
+
+func (st *objState) accessedCount() int {
+	if st.sealed != nil {
+		return st.sealed.count
+	}
+	return st.total.Count()
+}
+
 // nuafVariation computes the non-uniform access frequency metric for one
 // object: the noise-corrected coefficient of variation of per-slice totals
 // (structured objects) or per-accessed-element frequencies.
 func nuafVariation(st *objState) float64 {
+	if st.sealed != nil {
+		return st.sealed.nuaf
+	}
 	var samples []float64
 	if st.structured() {
 		samples = make([]float64, 0, len(st.sliceTotals))
@@ -137,6 +163,9 @@ func (st *objState) structured() bool {
 // structuredSavings estimates the bytes saved by allocating one slice
 // instead of the whole object: total object size minus one mean-sized slice.
 func structuredSavings(st *objState) uint64 {
+	if st.sealed != nil {
+		return st.sealed.savings
+	}
 	covered := st.total.Count()
 	if covered == 0 || st.apiTouches == 0 {
 		return 0
@@ -171,6 +200,22 @@ func (r *Recorder) FrequencyHistogram(id int, buckets int) []uint64 {
 	if st.elems == 0 {
 		return out
 	}
+	if st.sealed != nil {
+		// Sealed objects keep a fixed-resolution histogram; the GUI's bucket
+		// count matches it exactly, other counts re-bucket deterministically.
+		if buckets == sealBuckets {
+			copy(out, st.sealed.hist)
+			return out
+		}
+		for i, f := range st.sealed.hist {
+			b := i * buckets / sealBuckets
+			if b >= buckets {
+				b = buckets - 1
+			}
+			out[b] += f
+		}
+		return out
+	}
 	for i, f := range st.totalFreq {
 		b := i * buckets / st.elems
 		if b >= buckets {
@@ -186,7 +231,7 @@ func (r *Recorder) FrequencyHistogram(id int, buckets int) []uint64 {
 func (r *Recorder) AccessedPctOf(id int) (float64, bool) {
 	for _, oid := range r.order {
 		if int(oid) == id {
-			return r.states[oid].total.AccessedPct(), true
+			return r.states[oid].accessedPct(), true
 		}
 	}
 	return 0, false

@@ -84,6 +84,11 @@ type objState struct {
 	saViolated  bool
 	saNonContig bool
 	apiTouches  int
+
+	// sealed replaces the maps above once the streaming window manager
+	// freezes a freed object (Seal): derived values are precomputed and the
+	// O(elements) buffers released.
+	sealed *sealedState
 }
 
 type spilledAccess struct {

@@ -125,3 +125,52 @@ func mapToMap(m map[string]int) map[string]int {
 	}
 	return out
 }
+
+// heatCell mimics the streaming window manager's per-epoch cell: the
+// object×count pairs collected from a per-window map.
+type heatCell struct {
+	object  int
+	touches uint64
+}
+
+// epochCellsUnsorted folds a per-window touch map straight into the epoch
+// list in map order — flagged (epochs would render differently run to run).
+func epochCellsUnsorted(curCells map[int]uint64) []heatCell {
+	var cells []heatCell
+	for id, n := range curCells {
+		cells = append(cells, heatCell{object: id, touches: n}) // want `append to cells inside range over map curCells`
+	}
+	return cells
+}
+
+// epochCellsSorted is the streaming closeWindow shape: collect the window's
+// cells from the map, then sort by object before publishing — silent.
+func epochCellsSorted(curCells map[int]uint64) []heatCell {
+	cells := make([]heatCell, 0, len(curCells))
+	for id, n := range curCells {
+		cells = append(cells, heatCell{object: id, touches: n})
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].object < cells[j].object })
+	return cells
+}
+
+// windowTotalsRender draws per-window totals straight from the map —
+// flagged (the heat-map text would shuffle rows between runs).
+func windowTotalsRender(w io.Writer, totals map[int]uint64) {
+	for id, n := range totals {
+		fmt.Fprintf(w, "object %d: %d touches\n", id, n) // want `fmt.Fprintf inside range over map totals`
+	}
+}
+
+// retireWindow clears per-window maps and sums associatively — both
+// order-insensitive, silent.
+func retireWindow(curCells map[int]uint64) uint64 {
+	var total uint64
+	for _, n := range curCells {
+		total += n
+	}
+	for id := range curCells {
+		delete(curCells, id)
+	}
+	return total
+}

@@ -159,3 +159,49 @@ func localsOnly(items []int) int {
 	}
 	return total
 }
+
+// epoch mimics the streaming heat map's per-window summary.
+type epoch struct {
+	first uint64
+	cells map[int]uint64
+}
+
+// windowFanOutBad finalizes epochs concurrently but writes each into a
+// shared map keyed by the captured loop variable — flagged.
+func windowFanOutBad(epochs []epoch) map[uint64]uint64 {
+	totals := make(map[uint64]uint64, len(epochs))
+	var wg sync.WaitGroup
+	for _, e := range epochs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum uint64
+			for _, n := range e.cells {
+				sum += n
+			}
+			totals[e.first] = sum // want `write into closure-captured map totals inside go func`
+		}()
+	}
+	wg.Wait()
+	return totals
+}
+
+// windowFanOutGood gives each epoch its own result slot indexed by a
+// parameter — the sanctioned fan-out shape, silent.
+func windowFanOutGood(epochs []epoch) []uint64 {
+	totals := make([]uint64, len(epochs))
+	var wg sync.WaitGroup
+	for i := range epochs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sum uint64
+			for _, n := range epochs[i].cells {
+				sum += n
+			}
+			totals[i] = sum
+		}(i)
+	}
+	wg.Wait()
+	return totals
+}

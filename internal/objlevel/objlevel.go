@@ -40,16 +40,22 @@ func DefaultConfig() Config {
 	return Config{IdlenessThreshold: 4, RedundantSizeTolerance: 0.10}
 }
 
-// Detect runs all seven object-level detectors over an annotated trace
-// (topological timestamps must be assigned) and returns the findings in
-// deterministic order: grouped by object, then by pattern.
-func Detect(t *trace.Trace, cfg Config) []pattern.Finding {
+// normalized applies the default thresholds to unset Config fields.
+func normalized(cfg Config) Config {
 	if cfg.IdlenessThreshold <= 0 {
 		cfg.IdlenessThreshold = 2
 	}
 	if cfg.RedundantSizeTolerance <= 0 {
 		cfg.RedundantSizeTolerance = 0.10
 	}
+	return cfg
+}
+
+// Detect runs all seven object-level detectors over an annotated trace
+// (topological timestamps must be assigned) and returns the findings in
+// deterministic order: grouped by object, then by pattern.
+func Detect(t *trace.Trace, cfg Config) []pattern.Finding {
+	cfg = normalized(cfg)
 
 	var out []pattern.Finding
 	for _, o := range t.Objects {
@@ -58,16 +64,43 @@ func Detect(t *trace.Trace, cfg Config) []pattern.Finding {
 			// application data objects; their tensors are analyzed instead.
 			continue
 		}
-		out = appendLifetimeFindings(out, t, o, cfg)
+		var ti, dead []pattern.IdleWindow
+		for i := 1; i < len(o.Accesses); i++ {
+			ti, dead = evalPair(t, cfg, &o.Accesses[i-1], &o.Accesses[i], ti, dead)
+		}
+		out = appendLifetimeFindings(out, t, o, ti, dead)
 	}
 	out = append(out, detectRedundant(t, cfg)...)
 	return out
 }
 
+// evalPair evaluates the consecutive-access rules — temporary idleness
+// (Definition 3.6) and dead write (Definition 3.7) — for one adjacent event
+// pair, appending matched windows. Both rules depend only on the two events
+// and their (final) topological timestamps, which is what lets the streaming
+// Accumulator run them at access arrival and still match the offline walk.
+func evalPair(t *trace.Trace, cfg Config, prev, cur *trace.AccessEvent, ti, dead []pattern.IdleWindow) ([]pattern.IdleWindow, []pattern.IdleWindow) {
+	// Temporary Idleness: at least X APIs between consecutive accesses.
+	if n := t.Intervening(prev.API, cur.API); n >= cfg.IdlenessThreshold {
+		ti = append(ti, pattern.IdleWindow{FromAPI: prev.API, ToAPI: cur.API, Intervening: n})
+	}
+	// Dead Write: consecutive copy/set writes with no intervening access.
+	// Kernel writes are not "dead-write killers" in the pattern sense — they
+	// are uses of the object's storage — so any access event between the two
+	// writes clears the pattern; only a copy/set write immediately following
+	// another copy/set write matches.
+	if isCopySetWrite(prev) && isCopySetWrite(cur) && !cur.Read {
+		dead = append(dead, pattern.IdleWindow{FromAPI: prev.API, ToAPI: cur.API})
+	}
+	return ti, dead
+}
+
 // appendLifetimeFindings evaluates the per-object rules of §5.1 for one
-// object: unused allocation, memory leak, early allocation, late
-// deallocation, temporary idleness and dead write.
-func appendLifetimeFindings(out []pattern.Finding, t *trace.Trace, o *trace.Object, cfg Config) []pattern.Finding {
+// object — unused allocation, memory leak, early allocation, late
+// deallocation, temporary idleness and dead write — given the pre-evaluated
+// consecutive-pair windows (from the offline walk or the streaming
+// accumulator; both feed evalPair the same pairs).
+func appendLifetimeFindings(out []pattern.Finding, t *trace.Trace, o *trace.Object, windows, deadPairs []pattern.IdleWindow) []pattern.Finding {
 	// Memory Leak: no deallocation API associated with O (Definition 3.5).
 	if !o.Freed() {
 		out = append(out, pattern.Finding{
@@ -123,15 +156,7 @@ func appendLifetimeFindings(out []pattern.Finding, t *trace.Trace, o *trace.Obje
 		}
 	}
 
-	// Temporary Idleness: at least X APIs between consecutive accesses
-	// (Definition 3.6).
-	var windows []pattern.IdleWindow
-	for i := 1; i < len(o.Accesses); i++ {
-		a, b := o.Accesses[i-1].API, o.Accesses[i].API
-		if n := t.Intervening(a, b); n >= cfg.IdlenessThreshold {
-			windows = append(windows, pattern.IdleWindow{FromAPI: a, ToAPI: b, Intervening: n})
-		}
-	}
+	// Temporary Idleness (Definition 3.6): report the widest matched window.
 	if len(windows) > 0 {
 		widest := windows[0]
 		for _, w := range windows[1:] {
@@ -149,18 +174,7 @@ func appendLifetimeFindings(out []pattern.Finding, t *trace.Trace, o *trace.Obje
 		})
 	}
 
-	// Dead Write: consecutive copy/set writes with no intervening access
-	// (Definition 3.7). Kernel writes are not "dead-write killers" in the
-	// pattern sense — they are uses of the object's storage — so any access
-	// event between the two writes clears the pattern; only a copy/set
-	// write immediately following another copy/set write matches.
-	var deadPairs []pattern.IdleWindow
-	for i := 1; i < len(o.Accesses); i++ {
-		prev, cur := &o.Accesses[i-1], &o.Accesses[i]
-		if isCopySetWrite(prev) && isCopySetWrite(cur) && !cur.Read {
-			deadPairs = append(deadPairs, pattern.IdleWindow{FromAPI: prev.API, ToAPI: cur.API})
-		}
-	}
+	// Dead Write (Definition 3.7): report the first matched pair, attach all.
 	if len(deadPairs) > 0 {
 		out = append(out, pattern.Finding{
 			Pattern:     pattern.DeadWrite,

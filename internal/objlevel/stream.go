@@ -1,0 +1,66 @@
+package objlevel
+
+import (
+	"drgpum/internal/pattern"
+	"drgpum/internal/trace"
+)
+
+// Accumulator evaluates the consecutive-access rules (temporary idleness,
+// dead write) at access arrival, so the streaming profiler can retire raw
+// access lists when a window closes and still report exactly what the
+// offline walk over the full lists would. Per object it retains only the
+// previous access event and the matched windows — O(findings), not
+// O(accesses).
+type Accumulator struct {
+	cfg  Config
+	prev map[trace.ObjectID]trace.AccessEvent
+	ti   map[trace.ObjectID][]pattern.IdleWindow
+	dead map[trace.ObjectID][]pattern.IdleWindow
+}
+
+// NewAccumulator creates an accumulator evaluating under cfg's thresholds
+// (normalized exactly as Detect normalizes them).
+func NewAccumulator(cfg Config) *Accumulator {
+	return &Accumulator{
+		cfg:  normalized(cfg),
+		prev: make(map[trace.ObjectID]trace.AccessEvent),
+		ti:   make(map[trace.ObjectID][]pattern.IdleWindow),
+		dead: make(map[trace.ObjectID][]pattern.IdleWindow),
+	}
+}
+
+// Observe ingests the final access event of object id at the current API.
+// It must be called once per (object, API) event, in API order, after the
+// event's topological timestamp is final — the window manager calls it at
+// the OnAPI hook, where both conditions hold.
+func (ac *Accumulator) Observe(t *trace.Trace, id trace.ObjectID, ev trace.AccessEvent) {
+	if p, ok := ac.prev[id]; ok {
+		ti, dead := evalPair(t, ac.cfg, &p, &ev, ac.ti[id], ac.dead[id])
+		if len(ti) > 0 {
+			ac.ti[id] = ti
+		}
+		if len(dead) > 0 {
+			ac.dead[id] = dead
+		}
+	}
+	ac.prev[id] = ev
+}
+
+// DetectStreamed is Detect over a streamed trace: the per-object window
+// lists come from the accumulator instead of a walk over (possibly
+// compacted) access lists. Everything else — lifetime endpoint rules and
+// the redundant-allocation pass, which need only first/last events and
+// object sizes, both preserved by compaction — runs the shared code paths.
+func DetectStreamed(t *trace.Trace, cfg Config, ac *Accumulator) []pattern.Finding {
+	cfg = normalized(cfg)
+
+	var out []pattern.Finding
+	for _, o := range t.Objects {
+		if o.PoolSegment {
+			continue
+		}
+		out = appendLifetimeFindings(out, t, o, ac.ti[o.ID], ac.dead[o.ID])
+	}
+	out = append(out, detectRedundant(t, cfg)...)
+	return out
+}

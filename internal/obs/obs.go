@@ -94,6 +94,19 @@ var counterNames = [numCounters]string{
 	CtrEngineTimed:     "engine timed runs",
 }
 
+// Named counters published by the streaming window manager. They are named
+// rather than fixed so the fixed-counter snapshot shape — and every report
+// pinned against it — is untouched when streaming is off.
+const (
+	// NamedWindowsClosed counts kernel-epoch windows closed.
+	NamedWindowsClosed = "window/closed"
+	// NamedWindowAPIsRetired counts API records retired at window close.
+	NamedWindowAPIsRetired = "window/apis-retired"
+	// NamedWindowObjectsSealed counts freed objects whose intra-object
+	// state was frozen into a compact summary.
+	NamedWindowObjectsSealed = "window/objects-sealed"
+)
+
 // counterIndex resolves a report name back to its Counter (used by Merge).
 var counterIndex = func() map[string]Counter {
 	m := make(map[string]Counter, numCounters)

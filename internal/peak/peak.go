@@ -38,11 +38,20 @@ type Analysis struct {
 // Analyze mines the top-K memory peaks of an annotated trace. The paper's
 // default reports the top two peaks (K=2, user-tunable).
 func Analyze(t *trace.Trace, topK int) *Analysis {
+	return AnalyzeTimeline(t, topK, t.LiveBytesTimeline())
+}
+
+// AnalyzeTimeline is Analyze over a caller-supplied live-bytes timeline.
+// The streaming profiler materializes the curve via LiveBytesTimelineTo
+// (bounded by the incrementally tracked maximum timestamp) and mines it
+// through this exact code path, so streaming and offline peak reports are
+// byte-identical by construction.
+func AnalyzeTimeline(t *trace.Trace, topK int, timeline []uint64) *Analysis {
 	if topK <= 0 {
 		topK = 2
 	}
 	a := &Analysis{
-		Timeline: t.LiveBytesTimeline(),
+		Timeline: timeline,
 		onPeak:   make(map[trace.ObjectID]bool),
 	}
 	if len(a.Timeline) == 0 {

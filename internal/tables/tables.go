@@ -42,17 +42,26 @@ type ProfileOpts struct {
 	// memcheck section. Kernel whitelist and sampling still apply to
 	// intra-object analysis, but memcheck itself observes every kernel.
 	Memcheck bool
+	// Stream enables the streaming window manager: incremental per-epoch
+	// analysis with bounded collector memory and a temporal heat map in the
+	// report. Window is the kernel-epoch length (<= 0 selects the core
+	// default). The report's findings and summary are byte-identical to an
+	// offline run; only the heat map is added.
+	Stream bool
+	Window int
 }
 
 // ProfileWith is Profile with extras.
 func ProfileWith(w *workloads.Workload, spec gpu.DeviceSpec, v workloads.Variant, level gpu.PatchLevel, sampling int, opts ProfileOpts) (*core.Report, error) {
 	res, err := engine.Default().Run([]engine.RunSpec{{
-		Workload: w,
-		Spec:     spec,
-		Variant:  v,
-		Level:    level,
-		Sampling: sampling,
-		Opts:     engine.RunOpts{Memcheck: opts.Memcheck},
+		Workload:  w,
+		Spec:      spec,
+		Variant:   v,
+		Level:     level,
+		Sampling:  sampling,
+		Streaming: opts.Stream,
+		Window:    opts.Window,
+		Opts:      engine.RunOpts{Memcheck: opts.Memcheck},
 	}})
 	if err != nil {
 		return nil, err

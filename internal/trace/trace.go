@@ -114,6 +114,27 @@ func (o *Object) DisplayName() string {
 	return fmt.Sprintf("object#%d", o.ID)
 }
 
+// CompactAccesses trims the event list down to the first and last access.
+// The streaming window manager calls this when a window closes: every
+// analysis that consumes intermediate events (dependency edges, idle-window
+// detection, intra-object folding) has already observed them at arrival, and
+// the detectors that run at Finish (redundancy, lifetime endpoints, API-mix
+// stats, the advisor) only need the endpoints. FirstAccess/LastAccess and
+// the len>0 "was accessed" predicate are preserved exactly.
+func (o *Object) CompactAccesses() {
+	n := len(o.Accesses)
+	if n <= 2 {
+		return
+	}
+	first, last := o.Accesses[0], o.Accesses[n-1]
+	if cap(o.Accesses) > 8 {
+		// Reallocate so the retired backing array is actually collectable.
+		o.Accesses = []AccessEvent{first, last}
+		return
+	}
+	o.Accesses = append(o.Accesses[:0], first, last)
+}
+
 // touch merges an access by API into the object's event list.
 func (o *Object) touch(api uint64, kind gpu.APIKind, read, write bool) {
 	if n := len(o.Accesses); n > 0 && o.Accesses[n-1].API == api {
@@ -150,6 +171,27 @@ func (a *APIInfo) Label() string {
 	return fmt.Sprintf("%s(%d, %d)", a.Rec.Kind, a.Rec.Stream, a.Rec.SeqInStream)
 }
 
+// Retire drops the per-invocation payload that no analysis reads after the
+// API's window has closed: raw access ranges, fault lists, launch geometry
+// and the per-API object touch sets. The identity fields every late consumer
+// uses (index, kind, name, stream position, pointer, size) are kept in a
+// fresh compact record so the original — which may anchor large Reads/Writes
+// slices — becomes collectable.
+func (a *APIInfo) Retire() {
+	a.Rec = &gpu.APIRecord{
+		Index:       a.Rec.Index,
+		Kind:        a.Rec.Kind,
+		Name:        a.Rec.Name,
+		Stream:      a.Rec.Stream,
+		SeqInStream: a.Rec.SeqInStream,
+		Ptr:         a.Rec.Ptr,
+		Size:        a.Rec.Size,
+		Custom:      a.Rec.Custom,
+	}
+	a.ReadObjs = nil
+	a.WriteObjs = nil
+}
+
 // Trace is the complete object-level memory access trace of one execution.
 type Trace struct {
 	// APIs holds every intercepted GPU API in invocation order; the slice
@@ -162,6 +204,11 @@ type Trace struct {
 	// live profiles it is the collector's *callpath.Unwinder; for profiles
 	// loaded from disk it is a *callpath.Frozen over the saved frames.
 	Unwinder callpath.Resolver
+	// Streamed reports that closed-window APIs and objects were retired
+	// (Retire/CompactAccesses): per-invocation payloads are gone and access
+	// lists hold only endpoints. Consumers that need the full history — the
+	// profile serializer foremost — must refuse streamed traces.
+	Streamed bool
 }
 
 // Object returns the object with the given ID.
@@ -198,6 +245,14 @@ func (t *Trace) LiveBytesTimeline() []uint64 {
 			maxTopo = a.Topo
 		}
 	}
+	return t.LiveBytesTimelineTo(maxTopo)
+}
+
+// LiveBytesTimelineTo is LiveBytesTimeline with the final timestamp supplied
+// by the caller. The streaming window manager tracks the maximum topological
+// timestamp incrementally at API arrival, so a snapshot can materialize the
+// curve without rescanning every API.
+func (t *Trace) LiveBytesTimelineTo(maxTopo uint64) []uint64 {
 	deltas := make([]int64, maxTopo+2)
 	for _, o := range t.Objects {
 		if o.PoolSegment {
