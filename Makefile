@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build test race vet fmt lint api bench bench-streaming cover
+.PHONY: check build test race vet fmt lint api staticadv bench bench-streaming cover
 
 # check is the tier-1 verify gate (see ROADMAP.md): static checks, the
-# invariant linter suite, the public API surface lock, the full test
-# suite, and the race-enabled run that guards the concurrent offline
-# analysis pipeline. Steps run in cheapest-first order and fail fast;
-# each announces itself so CI logs show exactly where a red run stopped.
-check: vet fmt build lint api test race
+# invariant linter suite, the static kernel advisor gate, the public API
+# surface lock, the full test suite, and the race-enabled run that guards
+# the concurrent offline analysis pipeline. Steps run in cheapest-first
+# order and fail fast; each announces itself so CI logs show exactly
+# where a red run stopped.
+check: vet fmt build lint staticadv api test race
 	@echo "== check: all gates passed =="
 
 build:
@@ -39,6 +40,21 @@ fmt:
 lint:
 	@echo "== lint =="
 	$(GO) run ./cmd/drgpum-lint ./...
+
+# staticadv runs the static kernel advisor (DESIGN.md "Static kernel
+# advisor") twice: a zero-finding sweep over the annotated examples tree,
+# then the per-workload sweep + stride report + cross-validation gate
+# (>=80% naive agreement with the dynamic Table 1, zero static-only
+# findings on optimized variants). The second invocation runs all three
+# suites in ONE process on purpose: the internal/lint loader cache hands
+# them the same loaded workloads package, and -loadstats prints the
+# measured saving (~100ms of go list -export + typecheck avoided per
+# extra suite on a warm build cache — about half the step's load cost).
+staticadv:
+	@echo "== staticadv (examples sweep + workload xval gate; one export-data load serves sweep+stride+xval) =="
+	$(GO) run ./cmd/drgpum-staticadv ./examples/...
+	$(GO) run ./cmd/drgpum-staticadv -workloads -stride -xval -gate -loadstats > STATICADV.txt
+	@tail -n 4 STATICADV.txt
 
 # api diffs the exported surface of the public packages against the
 # api/drgpum.txt lock. Regenerate deliberately with:

@@ -1,11 +1,18 @@
 // Command drgpum-lint is the invariant multichecker of DESIGN.md
 // "Mechanized invariants": it loads the named packages (default ./...) and
 // runs the determinism, hook-discipline, concurrency and error-discipline
-// analyzers over them.
+// analyzers over them. The static kernel advisor's analyzers (DESIGN.md
+// "Static kernel advisor") ride along in the registry: they are listed by
+// -list and runnable through -only, while the default run keeps to the
+// invariant suite (the advisor has its own command, drgpum-staticadv,
+// whose default sweep is gated separately).
 //
 // Usage:
 //
-//	drgpum-lint [-only mapiter,simerr] [-list] [packages...]
+//	drgpum-lint [-only mapiter,simerr] [-json] [-list] [packages...]
+//
+// With -json every diagnostic is one JSON object per line with file,
+// line, col, analyzer and message fields, for editors and CI annotators.
 //
 // Exit status is 0 when the tree is clean, 1 when violations are reported,
 // and 2 when packages fail to load. `make lint` (part of `make check`)
@@ -13,22 +20,27 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"drgpum/internal/lint"
+	"drgpum/internal/staticadv"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: the invariant suite)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
 
+	registry := append(lint.All(), staticadv.Suite()...)
+
 	if *list {
-		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		for _, a := range registry {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -36,7 +48,7 @@ func main() {
 	analyzers := lint.All()
 	if *only != "" {
 		var err error
-		analyzers, err = lint.ByName(strings.Split(*only, ","))
+		analyzers, err = lint.Resolve(registry, strings.Split(*only, ","))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -55,7 +67,18 @@ func main() {
 
 	diags := lint.Run(pkgs, analyzers)
 	for _, d := range diags {
-		fmt.Println(d)
+		if *jsonOut {
+			enc, _ := json.Marshal(map[string]any{
+				"file":     d.Position.Filename,
+				"line":     d.Position.Line,
+				"col":      d.Position.Column,
+				"analyzer": d.Analyzer,
+				"message":  d.Message,
+			})
+			fmt.Println(string(enc))
+		} else {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "drgpum-lint: %d violation(s)\n", len(diags))

@@ -31,15 +31,15 @@ func main() {
 
 	const n = 256
 
-	data, err := dev.Malloc(n * 4)
+	data, err := dev.Malloc(n * 4) //staticadv:allow lifetime
 	check(err)
 	prof.Annotate(data, "data", 4)
 
-	temp, err := dev.Malloc(n * 4)
+	temp, err := dev.Malloc(n * 4) //staticadv:allow lifetime
 	check(err)
 	prof.Annotate(temp, "temp", 4)
 
-	orphan, err := dev.Malloc(16 << 10)
+	orphan, err := dev.Malloc(16 << 10) //staticadv:allow unusedalloc
 	check(err)
 	prof.Annotate(orphan, "orphan", 4)
 

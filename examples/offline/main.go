@@ -25,8 +25,8 @@ func main() {
 	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
 	prof := drgpum.Attach(dev, drgpum.DefaultConfig())
 
-	staging := alloc(dev, prof, "staging", 32<<10)
-	work := alloc(dev, prof, "work", 32<<10)
+	staging := alloc(dev, prof, "staging", 32<<10) //staticadv:allow lifetime
+	work := alloc(dev, prof, "work", 32<<10)       //staticadv:allow lifetime
 	check(dev.MemcpyHtoD(staging, make([]byte, 32<<10), nil))
 	// staging idles across exactly three APIs — under the default
 	// significance bar (4), but reportable at a stricter setting.
@@ -35,7 +35,7 @@ func main() {
 	touch(dev, work)
 	touch(dev, staging)
 	check(dev.Free(staging))
-	check(dev.Free(work))
+	check(dev.Free(work)) //staticadv:allow lifetime
 
 	report := prof.Finish()
 	var saved bytes.Buffer
@@ -69,7 +69,7 @@ func alloc(dev *gpusim.Device, prof *drgpum.Profiler, name string, n uint64) gpu
 
 func touch(dev *gpusim.Device, p gpusim.DevicePtr) {
 	check(dev.LaunchFunc(nil, "touch", gpusim.Dim1(1), gpusim.Dim1(32),
-		func(ctx *gpusim.ExecContext) { ctx.StoreU32(p, 1) }))
+		func(ctx *gpusim.ExecContext) { ctx.StoreU32(p, 1) })) //staticadv:allow deadstore
 }
 
 func check(err error) {

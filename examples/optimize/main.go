@@ -61,10 +61,10 @@ func printFindings(rep *drgpum.Report) {
 func runNaive(dev *gpusim.Device, prof *drgpum.Profiler) {
 	grid := alloc(dev, prof, "grid", n*4)
 	next := alloc(dev, prof, "next", n*4)
-	halo := alloc(dev, prof, "halo", 32<<10) // never used
-	out := alloc(dev, prof, "out", n*4)      // used only at the very end
+	halo := alloc(dev, prof, "halo", 32<<10) //staticadv:allow unusedalloc
+	out := alloc(dev, prof, "out", n*4)      //staticadv:allow lifetime
 
-	check(dev.Memset(grid, 0, n*4, nil))        // dead write:
+	check(dev.Memset(grid, 0, n*4, nil))        //staticadv:allow deadstore
 	check(dev.MemcpyHtoD(grid, initial(), nil)) // ...fully overwritten here
 
 	for step := 0; step < 3; step++ {
@@ -79,7 +79,7 @@ func runNaive(dev *gpusim.Device, prof *drgpum.Profiler) {
 	check(dev.Free(grid))
 	check(dev.Free(next))
 	check(dev.Free(halo))
-	check(dev.Free(out))
+	check(dev.Free(out)) //staticadv:allow lifetime
 }
 
 // runOptimized applies every suggestion from the naive profile.

@@ -27,12 +27,12 @@ func main() {
 	const n = 1024
 
 	// results is allocated long before the kernel that first touches it.
-	results, err := dev.Malloc(n * 4)
+	results, err := dev.Malloc(n * 4) //staticadv:allow lifetime
 	check(err)
 	prof.Annotate(results, "results", 4)
 
 	// scratch is allocated and never used by any GPU API.
-	scratch, err := dev.Malloc(64 << 10)
+	scratch, err := dev.Malloc(64 << 10) //staticadv:allow unusedalloc
 	check(err)
 	prof.Annotate(scratch, "scratch", 4)
 
@@ -62,7 +62,7 @@ func main() {
 	// anti-pattern.
 	check(dev.Free(results))
 	check(dev.Free(scratch))
-	check(dev.Free(input))
+	check(dev.Free(input)) //staticadv:allow lifetime
 
 	report := prof.Finish()
 	report.Render(os.Stdout, false)

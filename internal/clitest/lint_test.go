@@ -1,0 +1,105 @@
+package clitest
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runExpectFindings executes a linter binary that is expected to exit 1
+// (findings reported) and returns its stdout.
+func runExpectFindings(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := command(t, name, args...)
+	cmd.Dir = repoRoot()
+	out, err := cmd.Output()
+	if err == nil {
+		t.Fatalf("%s %v: expected findings exit status, got success", name, args)
+	}
+	if cmd.ProcessState.ExitCode() != 1 {
+		t.Fatalf("%s %v: exit code %d, want 1", name, args, cmd.ProcessState.ExitCode())
+	}
+	return string(out)
+}
+
+// TestLintJSONOutput pins the drgpum-lint -json contract: one JSON object
+// per diagnostic with file, line, col, analyzer and message fields, over
+// the known-bad fixture whose diagnostic set is locked by the lint
+// regression test.
+func TestLintJSONOutput(t *testing.T) {
+	out := runExpectFindings(t, "drgpum-lint", "-json", "./internal/lint/testdata/src/knownbad")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON diagnostics emitted")
+	}
+	sawMapiter := false
+	for _, line := range lines {
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line is not JSON: %q: %v", line, err)
+		}
+		if !strings.HasSuffix(d.File, "knownbad.go") || d.Line <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %q", line)
+		}
+		if d.Analyzer == "mapiter" {
+			sawMapiter = true
+		}
+	}
+	if !sawMapiter {
+		t.Errorf("no mapiter diagnostic in:\n%s", out)
+	}
+}
+
+// TestLintListIncludesAdvisor checks that the advisor analyzers ride
+// along in the drgpum-lint registry and are runnable through -only.
+func TestLintListIncludesAdvisor(t *testing.T) {
+	list := run(t, "drgpum-lint", "-list")
+	for _, name := range []string{"mapiter", "simerr", "deadstore", "unusedalloc", "lifetime", "redundantcopy", "stride"} {
+		if !strings.Contains(list, name) {
+			t.Errorf("-list missing analyzer %q:\n%s", name, list)
+		}
+	}
+
+	out := runExpectFindings(t, "drgpum-lint", "-only", "deadstore", "-json",
+		"./internal/staticadv/testdata/src/knownbadstatic")
+	if !strings.Contains(out, `"analyzer":"deadstore"`) || strings.Contains(out, `"analyzer":"mapiter"`) {
+		t.Errorf("-only deadstore output wrong:\n%s", out)
+	}
+}
+
+// TestStaticadvCLI drives the advisor command over the planted fixture
+// (JSON findings with pattern tags) and checks the clean-tree contract on
+// the annotated examples.
+func TestStaticadvCLI(t *testing.T) {
+	out := runExpectFindings(t, "drgpum-staticadv", "-json", "./internal/staticadv/testdata/src/knownbadstatic")
+	patterns := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var f struct {
+			Analyzer string `json:"analyzer"`
+			Pattern  string `json:"pattern"`
+			Object   string `json:"object"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not JSON: %q: %v", line, err)
+		}
+		patterns[f.Pattern] = true
+	}
+	for _, want := range []string{"EA", "LD", "UA", "DW"} {
+		if !patterns[want] {
+			t.Errorf("advisor JSON findings missing pattern %s:\n%s", want, out)
+		}
+	}
+
+	// The examples tree is fully annotated: the sweep must be clean.
+	cmd := command(t, "drgpum-staticadv", "./examples/...")
+	cmd.Dir = repoRoot()
+	if sweep, err := cmd.CombinedOutput(); err != nil {
+		t.Errorf("examples sweep not clean: %v\n%s", err, sweep)
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The load cache memoizes Load results per (working directory, pattern
+// list) for the lifetime of the process. A loaded Package is read-only
+// for every analyzer — Run never mutates Files/Types/Info — so one
+// `go list -export` + typecheck can back any number of analyzer suites
+// (drgpum-lint's invariant checkers, the static kernel advisor, the
+// cross-validation harness) in a single process instead of paying the
+// subprocess and typechecking cost once per suite.
+var loadCache = struct {
+	sync.Mutex
+	m     map[string][]*Package
+	stats LoadStats
+}{m: make(map[string][]*Package)}
+
+// LoadStats counts cache behavior for the current process.
+type LoadStats struct {
+	// Loads is the number of cache misses (full go list + typecheck runs).
+	Loads int
+	// Hits is the number of Load calls served from memory.
+	Hits int
+	// LoadWall is the cumulative wall time spent in cache misses; with N
+	// hits the cache saved roughly Hits/Loads of this much again.
+	LoadWall time.Duration
+}
+
+// LoadStatsSnapshot returns the process's loader cache counters.
+func LoadStatsSnapshot() LoadStats {
+	loadCache.Lock()
+	defer loadCache.Unlock()
+	return loadCache.stats
+}
+
+// cacheKey identifies one Load target set. Patterns are resolved by the
+// go tool relative to the working directory, so it is part of the key.
+func cacheKey(patterns []string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		wd = ""
+	}
+	return wd + "\x00" + strings.Join(patterns, "\x00")
+}
+
+// cachedLoad wraps a full load with the memo.
+func cachedLoad(patterns []string, full func() ([]*Package, error)) ([]*Package, error) {
+	key := cacheKey(patterns)
+	loadCache.Lock()
+	if pkgs, ok := loadCache.m[key]; ok {
+		loadCache.stats.Hits++
+		loadCache.Unlock()
+		return pkgs, nil
+	}
+	loadCache.Unlock()
+
+	start := time.Now()
+	pkgs, err := full()
+	if err != nil {
+		return nil, err
+	}
+	loadCache.Lock()
+	loadCache.stats.Loads++
+	loadCache.stats.LoadWall += time.Since(start)
+	loadCache.m[key] = pkgs
+	loadCache.Unlock()
+	return pkgs, nil
+}

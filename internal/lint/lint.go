@@ -124,8 +124,15 @@ func All() []*Analyzer {
 
 // ByName resolves analyzer names (for -only filters).
 func ByName(names []string) ([]*Analyzer, error) {
+	return Resolve(All(), names)
+}
+
+// Resolve picks the named analyzers out of an explicit registry, for
+// drivers that extend All() with additional suites (the static kernel
+// advisor's analyzers ride along in drgpum-lint this way).
+func Resolve(registry []*Analyzer, names []string) ([]*Analyzer, error) {
 	byName := make(map[string]*Analyzer)
-	for _, a := range All() {
+	for _, a := range registry {
 		byName[a.Name] = a
 	}
 	var out []*Analyzer

@@ -52,10 +52,18 @@ type listPkgError struct {
 // via go/importer's lookup mode. Directories named testdata are not
 // matched by "..." patterns but may be named explicitly, which is how the
 // analyzer test fixtures are loaded.
+// Results are memoized per working directory + pattern list for the
+// process lifetime (see cache.go), so several analyzer suites in one
+// binary load each target set once.
 func Load(patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	return cachedLoad(patterns, func() ([]*Package, error) { return loadUncached(patterns) })
+}
+
+// loadUncached performs the full go list + parse + typecheck pipeline.
+func loadUncached(patterns []string) ([]*Package, error) {
 	args := append([]string{"list", "-deps", "-export", "-json=Dir,ImportPath,GoFiles,Export,DepOnly,Error"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stderr bytes.Buffer

@@ -1,0 +1,105 @@
+package staticadv
+
+import (
+	"fmt"
+	"go/token"
+
+	"drgpum/internal/pattern"
+)
+
+// detectDeadStore flags two Dead Write shapes.
+//
+// Rule 1 is the exact static mirror of the dynamic detector: two
+// consecutive accesses to one buffer that are both copy/set writes (HtoD,
+// DtoD destination, memset) — the first write's value is overwritten
+// before anything reads it. Kernel accesses of any kind break the pair,
+// as they do dynamically. Both events must be unconditional, and the
+// second may only sit in a loop when the first sits in the same loop
+// (another loop might run zero times).
+//
+// Rule 2 is kernel-level, per the tentpole definition: a kernel stores to
+// a buffer whose contents are never read anywhere — not by the kernel
+// itself, not by any other kernel, and never copied DtoH. That output is
+// write-only storage the program pays traffic for.
+func detectDeadStore(m *model) []Finding {
+	var out []Finding
+	for _, b := range m.buffers {
+		for i := 0; i+1 < len(b.accesses); i++ {
+			a, c := b.accesses[i], b.accesses[i+1]
+			// A pair after the first escape may have unseen alias accesses
+			// between its halves; before it the event list is exact (the
+			// escape's own unknown-touch event breaks any spanning pair).
+			if b.escaped && c.seq > b.escapeSeq {
+				continue
+			}
+			if !a.kind.isCopySetWrite() || !c.kind.isCopySetWrite() || a.cond || c.cond {
+				continue
+			}
+			if c.loop && a.loopNode != c.loopNode {
+				continue
+			}
+			out = append(out, Finding{
+				Analyzer: "deadstore",
+				Pattern:  pattern.DeadWrite,
+				Pos:      m.pkg.Fset.Position(a.pos),
+				Object:   b.displayName(),
+				Message: fmt.Sprintf("write to buffer %q is dead: overwritten at line %d before anything reads it",
+					b.displayName(), m.pkg.Fset.Position(c.pos).Line),
+			})
+		}
+	}
+	reported := make(map[*buffer]bool)
+	for _, ku := range m.kernels {
+		for _, b := range orderedKernelBuffers(ku) {
+			if b.escaped || !ku.stores[b] || ku.loads[b] || hasRead(b) || reported[b] {
+				continue
+			}
+			reported[b] = true
+			pos := firstStorePos(ku, b)
+			out = append(out, Finding{
+				Analyzer: "deadstore",
+				Pattern:  pattern.DeadWrite,
+				Pos:      m.pkg.Fset.Position(pos),
+				Object:   b.displayName(),
+				Kernel:   ku.name,
+				Message: fmt.Sprintf("kernel %q stores to buffer %q but its contents are never read (no DtoH copy, no kernel load)",
+					ku.name, b.displayName()),
+			})
+		}
+	}
+	return out
+}
+
+// hasRead reports whether any recorded access observes the buffer.
+func hasRead(b *buffer) bool {
+	for _, ev := range b.accesses {
+		if ev.kind.isRead() {
+			return true
+		}
+	}
+	return false
+}
+
+// orderedKernelBuffers lists a kernel's attributed buffers in first-access
+// order.
+func orderedKernelBuffers(ku *kernelUse) []*buffer {
+	var out []*buffer
+	have := make(map[*buffer]bool)
+	for _, a := range ku.accs {
+		if !have[a.b] {
+			have[a.b] = true
+			out = append(out, a.b)
+		}
+	}
+	return out
+}
+
+// firstStorePos finds the kernel's first store site into b.
+func firstStorePos(ku *kernelUse, b *buffer) token.Pos {
+	for _, a := range ku.accs {
+		if a.b == b && a.store {
+			return a.pos
+		}
+	}
+	return ku.pos
+}

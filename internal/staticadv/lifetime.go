@@ -1,0 +1,61 @@
+package staticadv
+
+import (
+	"fmt"
+
+	"drgpum/internal/pattern"
+)
+
+// detectLifetime flags Early Allocation (Malloc hoisted above the first
+// use with other GPU API calls in between) and Late Deallocation (Free
+// sunk below the last use likewise), mirroring the dynamic rule: any
+// intervening API call of the five timestamped classes triggers the
+// pattern. To stay free of false positives the static version counts only
+// *unconditional* intervening events, skips escaped and loop-allocated
+// buffers, and skips conditional or in-loop frees.
+func detectLifetime(m *model) []Finding {
+	var out []Finding
+	for _, b := range m.buffers {
+		if b.escaped || b.loopAlloc || b.condAlloc || len(b.accesses) == 0 {
+			continue
+		}
+		first := b.accesses[0]
+		if n := m.interveningUncond(b.alloc.seq, first.seq); n > 0 {
+			out = append(out, Finding{
+				Analyzer: "lifetime",
+				Pattern:  pattern.EarlyAllocation,
+				Pos:      m.pkg.Fset.Position(b.alloc.pos),
+				Object:   b.displayName(),
+				Message: fmt.Sprintf("buffer %q is allocated %d GPU API call(s) before its first use (line %d); allocate closer to the use",
+					b.displayName(), n, m.pkg.Fset.Position(first.pos).Line),
+			})
+		}
+		if b.free == nil || b.free.cond || b.free.loop {
+			continue
+		}
+		last := b.accesses[len(b.accesses)-1]
+		if n := m.interveningUncond(last.seq, b.free.seq); n > 0 {
+			out = append(out, Finding{
+				Analyzer: "lifetime",
+				Pattern:  pattern.LateDeallocation,
+				Pos:      m.pkg.Fset.Position(b.free.pos),
+				Object:   b.displayName(),
+				Message: fmt.Sprintf("buffer %q is freed %d GPU API call(s) after its last use (line %d); free closer to the use",
+					b.displayName(), n, m.pkg.Fset.Position(last.pos).Line),
+			})
+		}
+	}
+	return out
+}
+
+// interveningUncond counts unconditional API events strictly between two
+// sequence positions.
+func (m *model) interveningUncond(lo, hi int) int {
+	n := 0
+	for _, ev := range m.apiEvents {
+		if ev.seq > lo && ev.seq < hi && !ev.cond {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,1082 @@
+package staticadv
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"drgpum/internal/lint"
+)
+
+// event is one recognized device-API touch of a buffer, in statement
+// order. seq is the global API sequence number at the touch, so
+// seq-differences reproduce the dynamic trace's intervening-API counts
+// for single-stream programs.
+type event struct {
+	seq  int
+	kind opKind
+	pos  token.Pos
+	// cond marks events under a condition the model cannot decide
+	// (anything but a variant test); they may not execute.
+	cond bool
+	// loop marks events inside a loop body (they may execute many times;
+	// their lexical position stands in for the first iteration).
+	loop bool
+	// loopNode identifies the innermost enclosing loop, so detectors can
+	// tell "same loop" (iterations interleave) from "some other loop"
+	// (which may run zero times).
+	loopNode ast.Node
+	// srcKey is the source expression of an H2D copy, for redundant-copy
+	// matching.
+	srcKey string
+	// kernel is the launch's kernel name for kernel events.
+	kernel string
+}
+
+// buffer is one tracked device allocation.
+type buffer struct {
+	name  string // variable name at the allocation site
+	label string // annotation label when the malloc carries one
+	alloc *event
+	free  *event
+	// accesses are the buffer's access-class events (copies, memsets,
+	// kernel loads/stores, unknown touches) in sequence order. alloc and
+	// free are kept separate, mirroring the dynamic trace.
+	accesses []*event
+	// escaped buffers left the model's sight (aliased in a loop, stored
+	// into a slice, returned, passed to an unseen function, ambiguous
+	// kernel addressing): may-miss analyses skip them entirely.
+	escaped bool
+	// escapeSeq is the API sequence position of the first escape. Events
+	// strictly before it happened while the model was still exact, so the
+	// purely local adjacent dead-write rule may still use them.
+	escapeSeq int
+	// condAlloc marks allocations under an undecidable condition.
+	condAlloc bool
+	// loopAlloc marks allocations inside loops (one static site, many
+	// dynamic objects — ordering-based analyses skip those too).
+	loopAlloc bool
+}
+
+// displayName prefers the annotation label the dynamic report would use.
+func (b *buffer) displayName() string {
+	if b.label != "" {
+		return b.label
+	}
+	return b.name
+}
+
+// kernelUse is one launch site's kernel body with its buffer bindings
+// resolved against the launching context.
+type kernelUse struct {
+	name string
+	pos  token.Pos
+	// accs lists the attributed accesses in body order (deterministic
+	// iteration); loads/stores are the membership views.
+	accs   []kernelAccess
+	loads  map[*buffer]bool
+	stores map[*buffer]bool
+}
+
+// kernelAccess is one attributed ctx.Load*/Store* site.
+type kernelAccess struct {
+	b     *buffer
+	store bool
+	pos   token.Pos
+}
+
+// model is the extracted view of one entry function (or one package's
+// worth of entry functions) under a variant assumption.
+type model struct {
+	pkg     *lint.Package
+	variant Variant
+	buffers []*buffer
+	kernels []*kernelUse
+	// redundant records statically adjacent same-source H2D pairs found
+	// during the walk (the walker sees statement adjacency; the analyzer
+	// only formats them).
+	redundant []redundantPair
+	// seq is the global API sequence, shared across entry functions so
+	// every event has a unique position (buffers never span entries).
+	seq int
+	// apiEvents lists every sequence-advancing event in order, so the
+	// lifetime analyzer can ask "does any *unconditional* API intervene".
+	apiEvents []*event
+}
+
+type redundantPair struct {
+	buf        *buffer
+	first, dup token.Pos
+	srcKey     string
+}
+
+// buildModel extracts the model for every top-level function of the
+// package (or just the listed entries when entries is non-nil). Helper
+// functions reached from an entry are inlined rather than analyzed
+// standalone, so a buffer passed to a same-package helper keeps its
+// identity; analyzed standalone they track nothing (parameters are not
+// allocations) and stay silent.
+func buildModel(pkg *lint.Package, v Variant, entries []*ast.FuncDecl) *model {
+	m := &model{pkg: pkg, variant: v}
+	if entries == nil {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					entries = append(entries, fd)
+				}
+			}
+		}
+	}
+	funcs := packageFuncs(pkg)
+	for _, fd := range entries {
+		w := &walker{
+			m:          m,
+			funcs:      funcs,
+			binding:    make(map[types.Object]*buffer),
+			lits:       make(map[types.Object]*ast.FuncLit),
+			kernelLits: make(map[types.Object]*ast.FuncLit),
+			litsSeen:   make(map[*ast.FuncLit]bool),
+		}
+		w.walkFuncBody(fd)
+	}
+	return m
+}
+
+// packageFuncs indexes every declared function and method by its object,
+// for helper inlining.
+func packageFuncs(pkg *lint.Package) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// walker performs the ordered, variant-pruned, helper-inlining walk of
+// one entry function.
+type walker struct {
+	m     *model
+	funcs map[types.Object]*ast.FuncDecl
+	// binding maps variables (and inlined helper parameters) to buffers.
+	binding map[types.Object]*buffer
+	// lits maps variables bound to non-kernel function literals (local
+	// helpers like `alloc := func(...) DevicePtr {...}`) for inlining.
+	lits map[types.Object]*ast.FuncLit
+	// kernelLits maps variables bound to kernel-signature literals so a
+	// launch through a variable still reaches the body.
+	kernelLits map[types.Object]*ast.FuncLit
+	// litsSeen guards the escape-walk of literals referenced outside call
+	// position so each body is walked at most once.
+	litsSeen  map[*ast.FuncLit]bool
+	loop      int // loop nesting depth
+	loopStack []ast.Node
+	cond      int // undecidable-condition nesting depth
+	stack     []ast.Node
+	// lastH2D implements statement-adjacency for redundant copies: set
+	// when the previous statement was exactly one H2D, cleared by any
+	// other statement.
+	lastH2D *event
+	lastBuf *buffer
+	// retBuf carries the returned buffer out of an inlined helper.
+	retBuf     *buffer
+	retAmbig   bool
+	inlineMode bool
+}
+
+const maxInlineDepth = 8
+
+// nextSeq advances the API sequence.
+func (w *walker) nextSeq() int { w.m.seq++; return w.m.seq }
+
+// newEvent records one op occurrence at the current position. Sequence-
+// advancing kinds are registered in the model's API event list.
+func (w *walker) newEvent(kind opKind, pos token.Pos, seq int) *event {
+	ev := &event{seq: seq, kind: kind, pos: pos, cond: w.cond > 0, loop: w.loop > 0}
+	if len(w.loopStack) > 0 {
+		ev.loopNode = w.loopStack[len(w.loopStack)-1]
+	}
+	if kind.countsAsAPI() {
+		w.m.apiEvents = append(w.m.apiEvents, ev)
+	}
+	return ev
+}
+
+// bufferOf resolves an expression to a tracked buffer, or nil. It chases
+// plain identifiers only — anything fancier is not a tracked buffer.
+func (w *walker) bufferOf(e ast.Expr) *buffer {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := w.m.pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	return w.binding[obj]
+}
+
+// escape marks a buffer as out of sight and records an unknown touch (it
+// may be read or written from now on).
+func (w *walker) escape(b *buffer, pos token.Pos) {
+	if b == nil {
+		return
+	}
+	if !b.escaped {
+		b.escaped = true
+		b.escapeSeq = w.m.seq
+	}
+	ev := w.newEvent(opUnknown, pos, w.m.seq)
+	b.accesses = append(b.accesses, ev)
+}
+
+// touch appends an access event to a buffer.
+func (w *walker) touch(b *buffer, ev *event) {
+	if b == nil {
+		return
+	}
+	b.accesses = append(b.accesses, ev)
+}
+
+// walkFuncBody walks one function declaration as an entry point.
+func (w *walker) walkFuncBody(fd *ast.FuncDecl) {
+	w.stack = append(w.stack, fd)
+	w.walkBlock(fd.Body)
+	w.stack = w.stack[:len(w.stack)-1]
+}
+
+// walkBlock walks a statement list in order, maintaining the H2D
+// statement-adjacency used by the redundant-copy rule.
+func (w *walker) walkBlock(block *ast.BlockStmt) {
+	if block == nil {
+		return
+	}
+	w.walkStmts(block.List)
+}
+
+func (w *walker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		prevH2D, prevBuf := w.lastH2D, w.lastBuf
+		w.lastH2D, w.lastBuf = nil, nil
+		w.walkStmt(s, prevH2D, prevBuf)
+	}
+	w.lastH2D, w.lastBuf = nil, nil
+}
+
+// walkStmt dispatches one statement. prevH2D/prevBuf describe the
+// immediately preceding statement if it was a single H2D copy.
+func (w *walker) walkStmt(s ast.Stmt, prevH2D *event, prevBuf *buffer) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		w.walkAssign(x)
+	case *ast.DeclStmt:
+		w.walkDecl(x)
+	case *ast.ExprStmt:
+		w.walkExprStmt(x, prevH2D, prevBuf)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, nil, nil)
+		}
+		switch w.evalVariantCond(x.Cond) {
+		case condTrue:
+			w.walkBlock(x.Body)
+		case condFalse:
+			if x.Else != nil {
+				w.walkStmt(x.Else, nil, nil)
+			}
+		default:
+			w.scanExpr(x.Cond)
+			w.cond++
+			w.walkBlock(x.Body)
+			if x.Else != nil {
+				w.walkStmt(x.Else, nil, nil)
+			}
+			w.cond--
+		}
+	case *ast.BlockStmt:
+		w.walkBlock(x)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, nil, nil)
+		}
+		if x.Cond != nil {
+			w.scanExpr(x.Cond)
+		}
+		w.loop++
+		w.loopStack = append(w.loopStack, x)
+		w.walkBlock(x.Body)
+		if x.Post != nil {
+			w.walkStmt(x.Post, nil, nil)
+		}
+		w.loopStack = w.loopStack[:len(w.loopStack)-1]
+		w.loop--
+	case *ast.RangeStmt:
+		w.scanExpr(x.X)
+		w.loop++
+		w.loopStack = append(w.loopStack, x)
+		w.walkBlock(x.Body)
+		w.loopStack = w.loopStack[:len(w.loopStack)-1]
+		w.loop--
+	case *ast.SwitchStmt:
+		w.walkSwitch(x)
+	case *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.cond++
+		ast.Inspect(x, func(n ast.Node) bool {
+			if body, ok := n.(*ast.BlockStmt); ok && n != x {
+				w.walkBlock(body)
+				return false
+			}
+			return true
+		})
+		w.cond--
+	case *ast.ReturnStmt:
+		w.walkReturn(x)
+	case *ast.DeferStmt:
+		// Deferred calls run at function exit; workloads use them rarely.
+		// Walk them in place but conditionally: ordering past this point
+		// is not modeled.
+		w.cond++
+		w.scanExpr(x.Call)
+		w.cond--
+	case *ast.GoStmt:
+		w.cond++
+		w.scanExpr(x.Call)
+		w.cond--
+	case *ast.IncDecStmt:
+		w.scanExpr(x.X)
+	case *ast.SendStmt:
+		w.scanExpr(x.Chan)
+		w.scanExpr(x.Value)
+	case *ast.LabeledStmt:
+		w.walkStmt(x.Stmt, nil, nil)
+	}
+}
+
+// walkDecl handles `var x = expr` declarations like assignments.
+func (w *walker) walkDecl(ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i < len(vs.Values) {
+				w.bindOrScan(name, vs.Values[i])
+			}
+		}
+	}
+}
+
+// walkAssign handles bindings: allocations, aliases, swaps — and falls
+// back to scanning for anything else.
+func (w *walker) walkAssign(as *ast.AssignStmt) {
+	// Tuple swap/alias between tracked buffers: a, b = b, a.
+	if len(as.Lhs) == len(as.Rhs) && len(as.Lhs) > 1 && w.anyTracked(as.Rhs) {
+		w.walkTupleAssign(as)
+		return
+	}
+	if len(as.Lhs) >= 1 && len(as.Rhs) == 1 {
+		w.bindOrScanMulti(as.Lhs, as.Rhs[0])
+		return
+	}
+	for _, l := range as.Lhs {
+		w.scanExpr(l)
+	}
+	for _, r := range as.Rhs {
+		w.scanExpr(r)
+	}
+}
+
+// anyTracked reports whether any expression resolves to a tracked buffer.
+func (w *walker) anyTracked(es []ast.Expr) bool {
+	for _, e := range es {
+		if w.bufferOf(e) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walkTupleAssign handles parallel assignment involving buffers. Outside
+// loops the bindings are rotated exactly; inside loops (ping-pong swaps)
+// the buffers involved escape — per-iteration identity is flow-sensitive
+// beyond this model.
+func (w *walker) walkTupleAssign(as *ast.AssignStmt) {
+	if w.loop > 0 || w.cond > 0 {
+		for _, e := range as.Rhs {
+			w.escape(w.bufferOf(e), as.Pos())
+		}
+		for _, e := range as.Lhs {
+			w.escape(w.bufferOf(e), as.Pos())
+		}
+		return
+	}
+	bufs := make([]*buffer, len(as.Rhs))
+	for i, e := range as.Rhs {
+		bufs[i] = w.bufferOf(e)
+	}
+	for i, l := range as.Lhs {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			if bufs[i] != nil {
+				w.escape(bufs[i], as.Pos())
+			}
+			continue
+		}
+		obj := w.m.pkg.Info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if bufs[i] != nil {
+			w.binding[obj] = bufs[i]
+		} else {
+			delete(w.binding, obj)
+			w.scanExpr(as.Rhs[i])
+		}
+	}
+}
+
+// bindOrScanMulti handles `lhs... = rhs` with one RHS (covers x := f()
+// and ptr, err := Malloc()).
+func (w *walker) bindOrScanMulti(lhs []ast.Expr, rhs ast.Expr) {
+	id, _ := ast.Unparen(lhs[0]).(*ast.Ident)
+	if id != nil && id.Name != "_" {
+		w.bindOrScan(id, rhs)
+		for _, l := range lhs[1:] {
+			if lid, ok := ast.Unparen(l).(*ast.Ident); !ok || lid.Name != "_" {
+				w.scanExpr(l)
+			}
+		}
+		return
+	}
+	// Blank or complex LHS. `_ = buf` is the deliberate-ignore idiom:
+	// not a use. weights[l] = malloc(...) births an escaped buffer.
+	if id != nil && id.Name == "_" {
+		if w.bufferOf(rhs) != nil {
+			return
+		}
+		w.scanExpr(rhs)
+		return
+	}
+	if b := w.allocFromExpr(rhs, lhs[0].Pos(), "", true); b != nil {
+		return
+	}
+	if b := w.bufferOf(rhs); b != nil {
+		// Buffer stored into a slice/map/field: escapes.
+		w.escape(b, rhs.Pos())
+		for _, l := range lhs {
+			w.scanExpr(l)
+		}
+		return
+	}
+	for _, l := range lhs {
+		w.scanExpr(l)
+	}
+	w.scanExpr(rhs)
+}
+
+// bindOrScan binds one identifier to the buffer produced by rhs (a fresh
+// allocation, an alias of a tracked buffer, or an inlined helper's
+// return), or scans rhs when no buffer flows.
+func (w *walker) bindOrScan(id *ast.Ident, rhs ast.Expr) {
+	obj := w.m.pkg.Info.ObjectOf(id)
+	if obj == nil {
+		w.scanExpr(rhs)
+		return
+	}
+	if b := w.allocFromExpr(rhs, id.Pos(), id.Name, false); b != nil {
+		w.binding[obj] = b
+		return
+	}
+	if src := w.bufferOf(rhs); src != nil {
+		if w.loop > 0 || w.cond > 0 {
+			w.escape(src, rhs.Pos())
+			delete(w.binding, obj)
+			return
+		}
+		w.binding[obj] = src
+		return
+	}
+	// A function literal bound to a variable: remember the body so calls
+	// through the variable inline (helpers) or launch (kernels) it; the
+	// body is not walked here.
+	if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+		if t := w.m.pkg.Info.TypeOf(lit); t != nil && isKernelFunc(t) {
+			w.kernelLits[obj] = lit
+		} else {
+			w.lits[obj] = lit
+		}
+		return
+	}
+	// A helper that returns a buffer it allocated (inlined).
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+		if b, handled := w.inlineOrOp(call); handled {
+			if b != nil {
+				// The caller's variable and call site, not the helper's
+				// local, are how the user knows the object.
+				b.name = id.Name
+				if b.alloc != nil {
+					b.alloc.pos = id.Pos()
+				}
+				w.binding[obj] = b
+			}
+			return
+		}
+	}
+	delete(w.binding, obj)
+	w.scanExpr(rhs)
+}
+
+// allocFromExpr recognizes a direct allocation call and creates the
+// buffer. escaped births the buffer already out of sight (slice element
+// destinations).
+func (w *walker) allocFromExpr(rhs ast.Expr, pos token.Pos, name string, escaped bool) *buffer {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	op, ok := classifyOp(w.m.pkg.Info, call)
+	if !ok || op.kind != opAlloc {
+		return nil
+	}
+	seq := w.nextSeq()
+	b := &buffer{
+		name:      name,
+		label:     allocLabel(call),
+		alloc:     w.newEvent(opAlloc, pos, seq),
+		condAlloc: w.cond > 0,
+		loopAlloc: w.loop > 0,
+		escaped:   escaped,
+	}
+	w.m.buffers = append(w.m.buffers, b)
+	return b
+}
+
+// walkExprStmt handles a bare call statement, feeding redundant-copy
+// statement adjacency.
+func (w *walker) walkExprStmt(es *ast.ExprStmt, prevH2D *event, prevBuf *buffer) {
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		w.scanExpr(es.X)
+		return
+	}
+	op, isOp := classifyOp(w.m.pkg.Info, call)
+	if isOp && op.kind == opH2D {
+		ev := w.recordOp(call, op)
+		if ev != nil && prevH2D != nil && prevBuf != nil && w.bufferArg(call, op.dst) == prevBuf &&
+			ev.srcKey != "" && ev.srcKey == prevH2D.srcKey && !ev.cond && !prevH2D.cond {
+			w.m.redundant = append(w.m.redundant, redundantPair{
+				buf: prevBuf, first: prevH2D.pos, dup: ev.pos, srcKey: ev.srcKey,
+			})
+		}
+		w.lastH2D, w.lastBuf = ev, w.bufferArg(call, op.dst)
+		return
+	}
+	w.scanExpr(es.X)
+}
+
+// bufferArg resolves an op-call argument to its tracked buffer.
+func (w *walker) bufferArg(call *ast.CallExpr, idx int) *buffer {
+	if idx < 0 || idx >= len(call.Args) {
+		return nil
+	}
+	return w.bufferOf(call.Args[idx])
+}
+
+// recordOp records one recognized device op's events and returns the
+// primary event.
+func (w *walker) recordOp(call *ast.CallExpr, op opCall) *event {
+	if op.benign {
+		return nil
+	}
+	switch op.kind {
+	case opAlloc:
+		// An allocation whose result is discarded still advances the
+		// sequence; nothing can reference it afterwards.
+		w.allocFromExpr(call, call.Pos(), "", true)
+		return nil
+	case opFree:
+		seq := w.nextSeq()
+		ev := w.newEvent(opFree, call.Pos(), seq)
+		if b := w.bufferArg(call, op.dst); b != nil && b.free == nil {
+			b.free = ev
+		}
+		return ev
+	case opH2D:
+		seq := w.nextSeq()
+		ev := w.newEvent(opH2D, call.Pos(), seq)
+		if op.srcExpr >= 0 && op.srcExpr < len(call.Args) {
+			ev.srcKey = types.ExprString(call.Args[op.srcExpr])
+		}
+		w.touch(w.bufferArg(call, op.dst), ev)
+		w.escapeNonIdentPtrArgs(call, op.dst)
+		return ev
+	case opD2H:
+		seq := w.nextSeq()
+		ev := w.newEvent(opD2H, call.Pos(), seq)
+		w.touch(w.bufferArg(call, op.src), ev)
+		w.escapeNonIdentPtrArgs(call, op.src)
+		return ev
+	case opD2D:
+		seq := w.nextSeq()
+		dst, src := w.bufferArg(call, op.dst), w.bufferArg(call, op.src)
+		wev := w.newEvent(opD2D, call.Pos(), seq)
+		w.touch(dst, wev)
+		// Read side of the copy: same API, so not re-registered.
+		rev := &event{seq: seq, kind: opD2H, pos: call.Pos(), cond: w.cond > 0, loop: w.loop > 0, loopNode: wev.loopNode}
+		w.touch(src, rev)
+		w.escapeNonIdentPtrArgs(call, op.dst, op.src)
+		return wev
+	case opMemset:
+		seq := w.nextSeq()
+		ev := w.newEvent(opMemset, call.Pos(), seq)
+		w.touch(w.bufferArg(call, op.dst), ev)
+		w.escapeNonIdentPtrArgs(call, op.dst)
+		return ev
+	case opLaunch:
+		return w.recordLaunch(call, op)
+	case opUnknown:
+		ev := w.newEvent(opUnknown, call.Pos(), w.m.seq)
+		b := w.bufferArg(call, op.dst)
+		w.touch(b, ev)
+		return ev
+	}
+	return nil
+}
+
+// escapeNonIdentPtrArgs escapes buffers reached through non-identifier
+// DevicePtr arguments (buf+offset passed to a copy: partial-view
+// addressing the event model does not track).
+func (w *walker) escapeNonIdentPtrArgs(call *ast.CallExpr, handled ...int) {
+	isHandled := func(i int) bool {
+		for _, h := range handled {
+			if i == h {
+				return true
+			}
+		}
+		return false
+	}
+	for i, a := range call.Args {
+		if isHandled(i) {
+			continue
+		}
+		t := w.m.pkg.Info.TypeOf(a)
+		if t == nil || !isDevicePtr(t) {
+			continue
+		}
+		if b := w.bufferOf(a); b != nil {
+			w.escape(b, a.Pos())
+			continue
+		}
+		w.escapeBuffersIn(a)
+	}
+	// Also escape buffers hidden inside arithmetic on the handled slots:
+	// bufferArg only resolves plain identifiers.
+	for _, h := range handled {
+		if h < 0 || h >= len(call.Args) {
+			continue
+		}
+		if w.bufferOf(call.Args[h]) == nil {
+			w.escapeBuffersIn(call.Args[h])
+		}
+	}
+}
+
+// escapeBuffersIn escapes every tracked buffer referenced anywhere in e.
+func (w *walker) escapeBuffersIn(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.m.pkg.Info.ObjectOf(id); obj != nil {
+				if b := w.binding[obj]; b != nil {
+					w.escape(b, id.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanExpr looks inside an arbitrary expression for device ops, helper
+// calls and escaping buffer references.
+func (w *walker) scanExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if _, handled := w.inlineOrOp(x); handled {
+				return false
+			}
+			// Unknown call: keep descending; buffer idents in its
+			// arguments will be seen and escaped below.
+			return true
+		case *ast.FuncLit:
+			// A non-kernel closure may run later (or never): walk it
+			// conditionally so its ops are visible but unordered.
+			w.cond++
+			w.walkBlock(x.Body)
+			w.cond--
+			return false
+		case *ast.Ident:
+			if obj := w.m.pkg.Info.ObjectOf(x); obj != nil {
+				if b := w.binding[obj]; b != nil {
+					w.escape(b, x.Pos())
+				}
+				// A function literal referenced outside call position may
+				// run at any time: walk its body conditionally, once.
+				lit := w.lits[obj]
+				if lit == nil {
+					lit = w.kernelLits[obj]
+				}
+				if lit != nil && !w.litsSeen[lit] {
+					w.litsSeen[lit] = true
+					w.cond++
+					w.walkBlock(lit.Body)
+					w.cond--
+				}
+			}
+		}
+		return true
+	})
+}
+
+// inlineOrOp handles a call that is either a recognized device op or an
+// inlinable same-package helper. It returns the buffer produced by the
+// call (for `x := helper(...)` binding) and whether the call was handled.
+func (w *walker) inlineOrOp(call *ast.CallExpr) (*buffer, bool) {
+	if op, ok := classifyOp(w.m.pkg.Info, call); ok {
+		if op.kind == opAlloc {
+			return w.allocFromExpr(call, call.Pos(), "", false), true
+		}
+		w.recordOp(call, op)
+		return nil, true
+	}
+	return w.inlineHelper(call)
+}
+
+// inlineHelper walks a same-package helper's body with the caller's
+// buffer arguments bound to its parameters, so device ops inside helpers
+// (launch wrappers, alloc-and-annotate) keep full attribution.
+func (w *walker) inlineHelper(call *ast.CallExpr) (*buffer, bool) {
+	fn := w.calleeObject(call)
+	if fn == nil {
+		return nil, false
+	}
+	var params []*ast.Ident
+	var body *ast.BlockStmt
+	var node ast.Node
+	if fd := w.funcs[fn]; fd != nil {
+		if !w.shouldInline(call, fd) {
+			return nil, false
+		}
+		for _, field := range fd.Type.Params.List {
+			params = append(params, field.Names...)
+		}
+		body, node = fd.Body, fd
+	} else if lit := w.lits[fn]; lit != nil {
+		for _, field := range lit.Type.Params.List {
+			params = append(params, field.Names...)
+		}
+		body, node = lit.Body, lit
+	} else {
+		return nil, false
+	}
+	if len(w.stack) >= maxInlineDepth {
+		return nil, false
+	}
+	for _, f := range w.stack {
+		if f == node {
+			return nil, false // recursion: give up on this call
+		}
+	}
+	// Bind parameters to argument buffers; escape buffer arguments the
+	// binding cannot represent (variadic packing, conversions).
+	saved := make(map[types.Object]*buffer)
+	for i, p := range params {
+		obj := w.m.pkg.Info.Defs[p]
+		if obj == nil {
+			continue
+		}
+		saved[obj] = w.binding[obj]
+		delete(w.binding, obj)
+		if i < len(call.Args) {
+			if b := w.bufferOf(call.Args[i]); b != nil {
+				w.binding[obj] = b
+			} else if t := w.m.pkg.Info.TypeOf(call.Args[i]); t != nil && isDevicePtr(t) {
+				// Untrackable DevicePtr expression flowing in: escape
+				// what it mentions.
+				w.escapeBuffersIn(call.Args[i])
+			}
+		}
+	}
+	prevRet, prevAmbig, prevInline := w.retBuf, w.retAmbig, w.inlineMode
+	w.retBuf, w.retAmbig, w.inlineMode = nil, false, true
+	w.stack = append(w.stack, node)
+	w.walkBlock(body)
+	w.stack = w.stack[:len(w.stack)-1]
+	ret := w.retBuf
+	if w.retAmbig {
+		if ret != nil {
+			w.escape(ret, call.Pos())
+		}
+		ret = nil
+	}
+	w.retBuf, w.retAmbig, w.inlineMode = prevRet, prevAmbig, prevInline
+	for obj, b := range saved {
+		if b == nil {
+			delete(w.binding, obj)
+		} else {
+			w.binding[obj] = b
+		}
+	}
+	return ret, true
+}
+
+// shouldInline decides whether a helper call is worth walking: it traffics
+// in device pointers, a device, or a runner-like receiver carrying one.
+func (w *walker) shouldInline(call *ast.CallExpr, fd *ast.FuncDecl) bool {
+	for _, a := range call.Args {
+		t := w.m.pkg.Info.TypeOf(a)
+		if t != nil && (typeHasDevicePtr(t) || isDeviceish(t)) {
+			return true
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, r := range fd.Type.Results.List {
+			if t := w.m.pkg.Info.TypeOf(r.Type); t != nil && typeHasDevicePtr(t) {
+				return true
+			}
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if t := w.m.pkg.Info.TypeOf(fd.Recv.List[0].Type); t != nil && isDeviceish(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDeviceish reports whether t is a device, stream, or runner-like
+// carrier through which helpers issue device APIs.
+func isDeviceish(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Name() {
+	case "Device", "Stream", "runner":
+		return true
+	}
+	return false
+}
+
+// calleeObject resolves the called function's object.
+func (w *walker) calleeObject(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return w.m.pkg.Info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return w.m.pkg.Info.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// walkReturn records buffer flow through returns: escaping for entry
+// functions, binding for inlined helpers.
+func (w *walker) walkReturn(rs *ast.ReturnStmt) {
+	for _, res := range rs.Results {
+		b := w.bufferOf(res)
+		if b == nil {
+			w.scanExpr(res)
+			continue
+		}
+		if w.inlineMode {
+			if w.retBuf != nil && w.retBuf != b {
+				w.retAmbig = true
+			}
+			if w.cond > 0 {
+				w.retAmbig = true
+			}
+			w.retBuf = b
+		} else {
+			w.escape(b, res.Pos())
+		}
+	}
+}
+
+// --- variant condition evaluation ---
+
+type condResult uint8
+
+const (
+	condUnknown condResult = iota
+	condTrue
+	condFalse
+)
+
+// evalVariantCond decides conditions that test the workload variant:
+// v == VariantNaive, v != VariantOptimized, negations and &&/|| chains of
+// those. Everything else is condUnknown.
+func (w *walker) evalVariantCond(e ast.Expr) condResult {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.EQL, token.NEQ:
+			val, ok := w.variantCompare(x.X, x.Y)
+			if !ok {
+				return condUnknown
+			}
+			if x.Op == token.NEQ {
+				val = !val
+			}
+			if val {
+				return condTrue
+			}
+			return condFalse
+		case token.LAND:
+			a, b := w.evalVariantCond(x.X), w.evalVariantCond(x.Y)
+			if a == condFalse || b == condFalse {
+				return condFalse
+			}
+			if a == condTrue && b == condTrue {
+				return condTrue
+			}
+			return condUnknown
+		case token.LOR:
+			a, b := w.evalVariantCond(x.X), w.evalVariantCond(x.Y)
+			if a == condTrue || b == condTrue {
+				return condTrue
+			}
+			if a == condFalse && b == condFalse {
+				return condFalse
+			}
+			return condUnknown
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			switch w.evalVariantCond(x.X) {
+			case condTrue:
+				return condFalse
+			case condFalse:
+				return condTrue
+			}
+		}
+	}
+	return condUnknown
+}
+
+// variantCompare evaluates `a == b` where one side is a Variant-typed
+// variable and the other a Variant constant. Returns (result, decided).
+func (w *walker) variantCompare(a, b ast.Expr) (bool, bool) {
+	if c, ok := w.variantConst(b); ok && w.isVariantVar(a) {
+		return uint64(w.m.variant) == c, true
+	}
+	if c, ok := w.variantConst(a); ok && w.isVariantVar(b) {
+		return uint64(w.m.variant) == c, true
+	}
+	return false, false
+}
+
+// isVariantVar reports whether e is a non-constant expression of a named
+// type called Variant.
+func (w *walker) isVariantVar(e ast.Expr) bool {
+	tv, ok := w.m.pkg.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return isVariantType(tv.Type)
+}
+
+// variantConst extracts the constant value of a Variant-typed constant.
+func (w *walker) variantConst(e ast.Expr) (uint64, bool) {
+	tv, ok := w.m.pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || !isVariantType(tv.Type) {
+		return 0, false
+	}
+	if tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Uint64Val(tv.Value)
+	return v, ok
+}
+
+// isVariantType matches any named type called Variant in this module
+// (workloads.Variant, fixture stand-ins).
+func isVariantType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Variant"
+}
+
+// walkSwitch prunes `switch v { case VariantNaive: ... }` statements and
+// walks others conditionally.
+func (w *walker) walkSwitch(sw *ast.SwitchStmt) {
+	if sw.Init != nil {
+		w.walkStmt(sw.Init, nil, nil)
+	}
+	if sw.Tag != nil && w.isVariantVar(sw.Tag) {
+		var taken *ast.CaseClause
+		var deflt *ast.CaseClause
+		decided := true
+		for _, stmt := range sw.Body.List {
+			cc := stmt.(*ast.CaseClause)
+			if cc.List == nil {
+				deflt = cc
+				continue
+			}
+			for _, e := range cc.List {
+				c, ok := w.variantConst(e)
+				if !ok {
+					decided = false
+					continue
+				}
+				if c == uint64(w.m.variant) {
+					taken = cc
+				}
+			}
+		}
+		if decided {
+			if taken == nil {
+				taken = deflt
+			}
+			if taken != nil {
+				w.walkStmts(taken.Body)
+			}
+			return
+		}
+	}
+	if sw.Tag != nil {
+		w.scanExpr(sw.Tag)
+	}
+	w.cond++
+	for _, stmt := range sw.Body.List {
+		if cc, ok := stmt.(*ast.CaseClause); ok {
+			w.walkStmts(cc.Body)
+		}
+	}
+	w.cond--
+}

@@ -1,0 +1,239 @@
+package staticadv
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// opKind classifies one recognized device-API call. The first five mirror
+// the paper's GPU API classes (alloc, free, copy, set, kernel launch),
+// which are exactly the events the dynamic trace timestamps — so the
+// static sequence counter and the dynamic intervening-API counts agree.
+type opKind uint8
+
+const (
+	opNone opKind = iota
+	opAlloc
+	opFree
+	opH2D
+	opD2H
+	opD2D
+	opMemset
+	opLaunch
+	// opKernelLoad/opKernelStore are per-buffer sub-events of a launch.
+	opKernelLoad
+	opKernelStore
+	// opUnknown marks a buffer reaching code the model cannot see through
+	// (counts as both a read and a write, kills may-miss analyses).
+	opUnknown
+)
+
+// countsAsAPI reports whether the op advances the GPU API sequence (the
+// five classes of the paper's definition footnote).
+func (k opKind) countsAsAPI() bool {
+	switch k {
+	case opAlloc, opFree, opH2D, opD2H, opD2D, opMemset, opLaunch:
+		return true
+	}
+	return false
+}
+
+// isRead reports whether the op observes the buffer's contents.
+func (k opKind) isRead() bool {
+	switch k {
+	case opD2H, opKernelLoad, opUnknown:
+		return true
+	}
+	return false
+}
+
+// isCopySetWrite reports whether the op is a copy/set write in the dead
+// write sense (Definition 3.7): kernel stores are uses of the storage,
+// not killers, so only host-side memset and HtoD/DtoD-dst writes count.
+func (k opKind) isCopySetWrite() bool {
+	switch k {
+	case opH2D, opD2D, opMemset:
+		return true
+	}
+	return false
+}
+
+// isDevicePtr reports whether t (through named types) is the simulator's
+// DevicePtr. gpusim.DevicePtr is an alias of gpu.DevicePtr, so one check
+// covers workloads, examples and fixtures: any named type called
+// DevicePtr whose package lives in this module.
+func isDevicePtr(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "DevicePtr" {
+		return false
+	}
+	return obj.Pkg() != nil && strings.HasPrefix(obj.Pkg().Path(), "drgpum")
+}
+
+// typeHasDevicePtr reports whether t contains a DevicePtr anywhere a
+// helper could smuggle device traffic through: the type itself, a
+// pointer/slice/array element.
+func typeHasDevicePtr(t types.Type) bool {
+	switch x := t.(type) {
+	case *types.Pointer:
+		return typeHasDevicePtr(x.Elem())
+	case *types.Slice:
+		return typeHasDevicePtr(x.Elem())
+	case *types.Array:
+		return typeHasDevicePtr(x.Elem())
+	}
+	return isDevicePtr(t)
+}
+
+// isExecContextPtr reports whether t is *ExecContext (the kernel body
+// handle all device memory traffic goes through).
+func isExecContextPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "ExecContext" &&
+		obj.Pkg() != nil && strings.HasPrefix(obj.Pkg().Path(), "drgpum")
+}
+
+// isKernelFunc reports whether t is func(*ExecContext) — a kernel body.
+func isKernelFunc(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return false
+	}
+	return isExecContextPtr(sig.Params().At(0).Type())
+}
+
+// opCall is one recognized device-API call site.
+type opCall struct {
+	kind opKind
+	// dst/src index the DevicePtr argument positions (-1 when absent).
+	dst, src int
+	// srcExpr indexes the host-source argument of an H2D copy (-1 none).
+	srcExpr int
+	// benign marks recognized-but-ignored calls (Annotate, Synchronize,
+	// Compute, stream plumbing): no event, no escape, don't descend.
+	benign bool
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// classifyOp recognizes the device API vocabulary by name and loose
+// signature shape, which covers the gpu.Device methods, the gpusim
+// aliases, the workloads runner helpers and fixture stand-ins alike.
+// info is used to confirm DevicePtr-typed arguments where the name alone
+// would be ambiguous.
+func classifyOp(info *types.Info, call *ast.CallExpr) (opCall, bool) {
+	name := calleeName(call)
+	argIsPtr := func(i int) bool {
+		if i >= len(call.Args) {
+			return false
+		}
+		t := info.TypeOf(call.Args[i])
+		return t != nil && isDevicePtr(t)
+	}
+	switch name {
+	case "Malloc", "malloc":
+		// Result must be (or include) a DevicePtr.
+		t := info.TypeOf(call)
+		if t == nil {
+			return opCall{}, false
+		}
+		if tuple, ok := t.(*types.Tuple); ok {
+			if tuple.Len() == 0 || !isDevicePtr(tuple.At(0).Type()) {
+				return opCall{}, false
+			}
+		} else if !isDevicePtr(t) {
+			return opCall{}, false
+		}
+		return opCall{kind: opAlloc, dst: -1, src: -1, srcExpr: -1}, true
+	case "Free", "free":
+		if !argIsPtr(0) {
+			return opCall{}, false
+		}
+		return opCall{kind: opFree, dst: 0, src: -1, srcExpr: -1}, true
+	case "MemcpyHtoD", "h2d":
+		if !argIsPtr(0) {
+			return opCall{}, false
+		}
+		return opCall{kind: opH2D, dst: 0, src: -1, srcExpr: 1}, true
+	case "MemcpyDtoH", "d2h":
+		if !argIsPtr(1) {
+			return opCall{}, false
+		}
+		return opCall{kind: opD2H, dst: -1, src: 1, srcExpr: -1}, true
+	case "MemcpyDtoD":
+		if !argIsPtr(0) || !argIsPtr(1) {
+			return opCall{}, false
+		}
+		return opCall{kind: opD2D, dst: 0, src: 1, srcExpr: -1}, true
+	case "Memset", "memset":
+		if !argIsPtr(0) {
+			return opCall{}, false
+		}
+		return opCall{kind: opMemset, dst: 0, src: -1, srcExpr: -1}, true
+	case "Poke":
+		if !argIsPtr(0) {
+			return opCall{}, false
+		}
+		// Host poke writes the buffer outside the API stream; treat it
+		// as an unknown touch so liveness stays conservative.
+		return opCall{kind: opUnknown, dst: 0, src: -1, srcExpr: -1}, true
+	case "Peek":
+		if !argIsPtr(0) {
+			return opCall{}, false
+		}
+		return opCall{kind: opUnknown, dst: 0, src: -1, srcExpr: -1}, true
+	case "LaunchFunc", "launch", "Launch":
+		// Must carry a func(*ExecContext) body argument.
+		for i, a := range call.Args {
+			t := info.TypeOf(a)
+			if t != nil && isKernelFunc(t) {
+				return opCall{kind: opLaunch, dst: i, src: -1, srcExpr: -1}, true
+			}
+		}
+		return opCall{}, false
+	case "Annotate", "AttachPool", "Synchronize", "CreateStream",
+		"DefaultStream", "Elapsed", "Err", "Spec", "MemStats",
+		"Compute", "ComputeF32", "ComputeF64":
+		return opCall{benign: true, dst: -1, src: -1, srcExpr: -1}, true
+	}
+	return opCall{}, false
+}
+
+// launchKernelName extracts the kernel-name string literal of a launch
+// call, or "" when the name is not a literal.
+func launchKernelName(call *ast.CallExpr) string {
+	for _, a := range call.Args {
+		if lit, ok := ast.Unparen(a).(*ast.BasicLit); ok && lit.Kind.String() == "STRING" {
+			return strings.Trim(lit.Value, `"`)
+		}
+	}
+	return ""
+}
+
+// allocLabel extracts the annotation label of a malloc helper call (the
+// first string-literal argument), or "".
+func allocLabel(call *ast.CallExpr) string {
+	return launchKernelName(call) // same shape: first string literal
+}

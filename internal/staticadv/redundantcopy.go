@@ -1,0 +1,28 @@
+package staticadv
+
+import (
+	"fmt"
+
+	"drgpum/internal/pattern"
+)
+
+// detectRedundantCopy flags back-to-back HtoD copies of the same host
+// source into the same device buffer. The walker already established the
+// strict conditions — the two copies are lexically adjacent statements
+// (so no device API of any kind intervenes), unconditional, and their
+// source expressions are textually identical — so the first copy's bytes
+// are overwritten with the same bytes and the transfer is pure waste.
+func detectRedundantCopy(m *model) []Finding {
+	var out []Finding
+	for _, p := range m.redundant {
+		out = append(out, Finding{
+			Analyzer: "redundantcopy",
+			Pattern:  pattern.DeadWrite,
+			Pos:      m.pkg.Fset.Position(p.first),
+			Object:   p.buf.displayName(),
+			Message: fmt.Sprintf("HtoD copy into %q is repeated from the same source %s at line %d with no intervening device write; the first copy is redundant",
+				p.buf.displayName(), p.srcKey, m.pkg.Fset.Position(p.dup).Line),
+		})
+	}
+	return out
+}

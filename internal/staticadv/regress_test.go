@@ -1,0 +1,60 @@
+package staticadv_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"drgpum/internal/lint"
+	"drgpum/internal/staticadv"
+)
+
+// TestKnownBadStaticExactSet pins the exact diagnostic set of the
+// knownbadstatic fixture, which plants one instance of every pattern the
+// advisor detects. Unlike the per-analyzer fixtures this runs the whole
+// suite at once, so overlap behavior (the double upload is both a dead
+// write and a redundant copy) and cross-analyzer silence are locked in.
+func TestKnownBadStaticExactSet(t *testing.T) {
+	pkgs, err := lint.Load("./testdata/src/knownbadstatic")
+	if err != nil {
+		t.Fatalf("loading knownbadstatic: %v", err)
+	}
+	diags := lint.Run(pkgs, staticadv.Suite())
+	keys := make([]string, len(diags))
+	for i, d := range diags {
+		keys[i] = fmt.Sprintf("%s:%d %s", filepath.Base(d.Position.Filename), d.Position.Line, d.Analyzer)
+	}
+
+	want := []string{
+		"knownbadstatic.go:14 lifetime",
+		"knownbadstatic.go:29 lifetime",
+		"knownbadstatic.go:34 unusedalloc",
+		"knownbadstatic.go:41 deadstore",
+		"knownbadstatic.go:51 stride",
+		"knownbadstatic.go:52 deadstore",
+		"knownbadstatic.go:61 deadstore",
+		"knownbadstatic.go:61 redundantcopy",
+	}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("diagnostic set changed:\n got %q\nwant %q", keys, want)
+	}
+
+	// Message fragments, indexed against the pinned key order.
+	fragments := []string{
+		`buffer "input" is allocated 3 GPU API call(s) before its first use`,
+		`buffer "hold" is freed 3 GPU API call(s) after its last use`,
+		`device buffer "scratch" is allocated but never reaches a kernel, memset or copy`,
+		`write to buffer "frame" is dead`,
+		`kernel "scatter" loop depth 1: strided access [unit=0 strided=1 irregular=0]`,
+		`kernel "scatter" stores to buffer "sink" but its contents are never read`,
+		`write to buffer "stage" is dead`,
+		`HtoD copy into "stage" is repeated from the same source host`,
+	}
+	for i, frag := range fragments {
+		if !strings.Contains(diags[i].Message, frag) {
+			t.Errorf("diagnostic %d (%s): message %q missing %q", i, keys[i], diags[i].Message, frag)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package staticadv is DrGPUM's static kernel advisor: a compile-time
+// companion to the dynamic profiler that detects the paper's memory
+// inefficiency patterns directly in workload source, without executing
+// anything (DESIGN.md "Static kernel advisor").
+//
+// It is built on the internal/lint Pass/Package framework (go/ast +
+// go/types against compiler export data, no dependencies) and understands
+// the two surfaces all device traffic in this codebase flows through: the
+// CUDA-shaped host API (Malloc/Free/MemcpyHtoD/MemcpyDtoH/Memset/
+// LaunchFunc and the workload runner's lower-case helpers) and kernel
+// bodies, which are plain Go closures doing all memory traffic through
+// gpusim.ExecContext Load*/Store* calls.
+//
+// Five analyzers reproduce the statically decidable subset of the paper's
+// taxonomy, each finding tagged with the internal/pattern ID the dynamic
+// Report uses so the two advisors speak the same language:
+//
+//   - deadstore (DW): writes — kernel stores, memsets, copies — whose
+//     value is never read before being overwritten or freed;
+//   - unusedalloc (UA): Malloc'd buffers that reach no kernel, memset or
+//     copy;
+//   - lifetime (EA/LD): allocations hoisted above first use and frees
+//     sunk below last use, by statement ordering and intervening-API
+//     counting;
+//   - redundantcopy (DW): back-to-back HtoD copies of the same source to
+//     the same buffer;
+//   - stride: loop-induction analysis over buf+DevicePtr(f(i)) address
+//     expressions, classifying every kernel loop's accesses as
+//     unit/strided/irregular (the coalescing cost model's precursor).
+//
+// Findings are intentionally conservative: a buffer that aliases another,
+// escapes into a slice, a return value or an unknown call is dropped from
+// may-miss analyses rather than risk a false positive. Intentional
+// inefficiencies are silenced in source with a `//staticadv:allow`
+// pragma. internal/tables.CrossValidate mechanically compares the static
+// findings against the dynamic Table 1 matrix for every bundled
+// workload×variant.
+package staticadv
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"drgpum/internal/lint"
+	"drgpum/internal/pattern"
+)
+
+// Variant mirrors workloads.Variant so the analyzers can prune
+// variant-conditional branches (`if v == VariantNaive { ... }`) without
+// importing the workloads package. The constant values match.
+type Variant uint8
+
+const (
+	// VariantNaive analyzes the original program's branches.
+	VariantNaive Variant = iota
+	// VariantOptimized analyzes the fixed program's branches.
+	VariantOptimized
+)
+
+// String names the variant like workloads.Variant does.
+func (v Variant) String() string {
+	if v == VariantOptimized {
+		return "optimized"
+	}
+	return "naive"
+}
+
+// Finding is one statically detected inefficiency.
+type Finding struct {
+	// Analyzer is the reporting analyzer (deadstore, unusedalloc,
+	// lifetime, redundantcopy).
+	Analyzer string
+	// Pattern is the dynamic-taxonomy pattern ID the finding maps to.
+	Pattern pattern.Pattern
+	// Pos locates the evidence (the allocation, the dead write, ...).
+	Pos token.Position
+	// Object names the buffer: its annotation label when the allocation
+	// carries one, otherwise the variable name.
+	Object string
+	// Kernel names the kernel evidencing a kernel-level finding.
+	Kernel string
+	// Message is the human-facing diagnosis.
+	Message string
+}
+
+// String renders the finding in file:line:col form with the pattern tag.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s (%s)", f.Pos, f.Pattern.Abbrev(), f.Message, f.Analyzer)
+}
+
+// Config selects the analysis assumptions.
+type Config struct {
+	// Variant is the workload variant assumed when pruning
+	// variant-conditional branches.
+	Variant Variant
+}
+
+// AnalyzePackage runs every finding-producing analyzer over one loaded
+// package under cfg's variant assumption and returns the findings sorted
+// by position. //staticadv:allow pragmas are honored.
+func AnalyzePackage(pkg *lint.Package, cfg Config) []Finding {
+	m := buildModel(pkg, cfg.Variant, nil)
+	var out []Finding
+	out = append(out, detectDeadStore(m)...)
+	out = append(out, detectUnusedAlloc(m)...)
+	out = append(out, detectLifetime(m)...)
+	out = append(out, detectRedundantCopy(m)...)
+	out = filterAllowed(pkg, out, "")
+	sortFindings(out)
+	return out
+}
+
+// AnalyzeBoth runs AnalyzePackage under both variant assumptions and
+// merges the two sets: findings present under both variants appear once,
+// variant-specific ones are prefixed with their variant. This is what the
+// generic entry points (drgpum-staticadv over arbitrary packages, the
+// drgpum-lint -only integration) use, since a package without variant
+// branches yields identical sets.
+func AnalyzeBoth(pkg *lint.Package) []Finding {
+	naive := AnalyzePackage(pkg, Config{Variant: VariantNaive})
+	opt := AnalyzePackage(pkg, Config{Variant: VariantOptimized})
+	key := func(f Finding) string {
+		return fmt.Sprintf("%s|%s|%d|%d|%s", f.Analyzer, f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message)
+	}
+	inOpt := make(map[string]bool, len(opt))
+	for _, f := range opt {
+		inOpt[key(f)] = true
+	}
+	inNaive := make(map[string]bool, len(naive))
+	var out []Finding
+	for _, f := range naive {
+		inNaive[key(f)] = true
+		if !inOpt[key(f)] {
+			f.Message = "[naive] " + f.Message
+		}
+		out = append(out, f)
+	}
+	for _, f := range opt {
+		if inNaive[key(f)] {
+			continue // already emitted as a both-variant finding
+		}
+		f.Message = "[optimized] " + f.Message
+		out = append(out, f)
+	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings by file, line, column, analyzer, message.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// allowPragma is the suppression marker: `//staticadv:allow` silences
+// every analyzer on its own line and the next, `//staticadv:allow
+// deadstore,lifetime` only the named ones. Use it to mark intentional
+// inefficiencies (demo programs, staging buffers whose consumer is out of
+// scope) so the zero-finding gates stay meaningful.
+const allowPragma = "//staticadv:allow"
+
+// allowedAt maps file -> line -> analyzer set ("" element = all).
+func allowedLines(pkg *lint.Package) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPragma) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPragma)
+				var names []string
+				if t := strings.TrimSpace(rest); t != "" {
+					for _, n := range strings.Split(t, ",") {
+						names = append(names, strings.TrimSpace(n))
+					}
+				} else {
+					names = []string{""}
+				}
+				p := pkg.Fset.Position(c.Pos())
+				if out[p.Filename] == nil {
+					out[p.Filename] = make(map[int][]string)
+				}
+				// The pragma covers its own line (trailing comment) and
+				// the next line (comment on its own line above the code).
+				out[p.Filename][p.Line] = append(out[p.Filename][p.Line], names...)
+				out[p.Filename][p.Line+1] = append(out[p.Filename][p.Line+1], names...)
+			}
+		}
+	}
+	return out
+}
+
+// filterAllowed drops findings suppressed by //staticadv:allow pragmas.
+// If only is non-empty, only that analyzer's findings are kept first.
+func filterAllowed(pkg *lint.Package, fs []Finding, only string) []Finding {
+	allowed := allowedLines(pkg)
+	var out []Finding
+	for _, f := range fs {
+		if only != "" && f.Analyzer != only {
+			continue
+		}
+		names := allowed[f.Pos.Filename][f.Pos.Line]
+		drop := false
+		for _, n := range names {
+			if n == "" || n == f.Analyzer {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Suite returns the staticadv analyzers wrapped as lint.Analyzers so
+// drgpum-lint -only and the linttest fixture harness can drive them. Each
+// wrapper analyzes under both variant assumptions and reports the merged
+// set; stride reports every kernel-loop classification (informational).
+func Suite() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		wrapAnalyzer("deadstore",
+			"flags writes (kernel stores, memsets, copies) never read before overwrite or free (Dead Write)",
+			"deadstore"),
+		wrapAnalyzer("unusedalloc",
+			"flags device allocations that reach no kernel, memset or copy (Unused Allocation)",
+			"unusedalloc"),
+		wrapAnalyzer("lifetime",
+			"flags allocations hoisted above first use and frees sunk below last use (Early Allocation / Late Deallocation)",
+			"lifetime"),
+		wrapAnalyzer("redundantcopy",
+			"flags back-to-back HtoD copies of the same source to the same buffer (Dead Write)",
+			"redundantcopy"),
+		strideAnalyzer(),
+	}
+}
+
+// wrapAnalyzer adapts one finding-producing analyzer to the lint
+// framework: run both variants, merge, report.
+func wrapAnalyzer(name, doc, only string) *lint.Analyzer {
+	a := &lint.Analyzer{Name: name, Doc: doc}
+	a.Run = func(pass *lint.Pass) {
+		pkg := passPackage(pass)
+		for _, f := range AnalyzeBoth(pkg) {
+			if f.Analyzer != only {
+				continue
+			}
+			pass.Reportf(posFor(pkg.Fset, f.Pos), "[%s] %s", f.Pattern.Abbrev(), f.Message)
+		}
+	}
+	return a
+}
+
+// passPackage rebuilds a lint.Package view from a running pass.
+func passPackage(pass *lint.Pass) *lint.Package {
+	return &lint.Package{
+		Path:  pass.Pkg.Path(),
+		Fset:  pass.Fset,
+		Files: pass.Files,
+		Types: pass.Pkg,
+		Info:  pass.Info,
+	}
+}
+
+// posFor converts a resolved Position back to a token.Pos in fset.
+func posFor(fset *token.FileSet, p token.Position) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		if f.Name() == p.Filename {
+			pos = f.LineStart(p.Line)
+			return false
+		}
+		return true
+	})
+	return pos
+}

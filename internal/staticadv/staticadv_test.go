@@ -1,0 +1,21 @@
+package staticadv_test
+
+import (
+	"testing"
+
+	"drgpum/internal/lint/linttest"
+	"drgpum/internal/staticadv"
+)
+
+// TestAnalyzerFixtures runs every advisor analyzer over its want-comment
+// fixture: each planted inefficiency must be flagged on exactly its line,
+// and the clean idioms (reads between writes, conditional uses, escaped
+// buffers, //staticadv:allow pragmas) must stay silent.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range staticadv.Suite() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			linttest.Run(t, a, "./testdata/src/"+a.Name)
+		})
+	}
+}

@@ -1,0 +1,638 @@
+package staticadv
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"drgpum/internal/lint"
+)
+
+// StrideClass classifies the memory access pattern of one kernel loop.
+type StrideClass uint8
+
+const (
+	// StrideNone marks loops performing no device memory accesses.
+	StrideNone StrideClass = iota
+	// StrideUnit marks consecutive-element access: the address advances by
+	// exactly the element size per iteration (or not at all — broadcast).
+	// This is the coalescing-friendly case.
+	StrideUnit
+	// StrideStrided marks linear access with a non-unit step (column-major
+	// walks, interleaved layouts): partially coalesced.
+	StrideStrided
+	// StrideIrregular marks data-dependent or nonlinear addressing
+	// (gather/scatter): the uncoalesced worst case.
+	StrideIrregular
+)
+
+// String names the class.
+func (c StrideClass) String() string {
+	switch c {
+	case StrideUnit:
+		return "unit"
+	case StrideStrided:
+		return "strided"
+	case StrideIrregular:
+		return "irregular"
+	}
+	return "none"
+}
+
+// StrideLoop is one classified kernel loop.
+type StrideLoop struct {
+	// Kernel is the launch name of the enclosing kernel body (or the
+	// function/variable name when the body is never launched by literal).
+	Kernel string
+	// Pos locates the loop statement.
+	Pos token.Position
+	// Depth is the loop nesting level inside the kernel (1 = outermost).
+	Depth int
+	// Class is the worst access class attributed to this loop.
+	Class StrideClass
+	// Unit/Strided/Irregular count the attributed accesses per class.
+	Unit, Strided, Irregular int
+}
+
+// String renders one report line.
+func (l StrideLoop) String() string {
+	return fmt.Sprintf("%s:%d: kernel %q loop depth %d: %s [unit=%d strided=%d irregular=%d]",
+		l.Pos.Filename, l.Pos.Line, l.Kernel, l.Depth, l.Class, l.Unit, l.Strided, l.Irregular)
+}
+
+// StrideReport classifies every loop of every kernel body in the package,
+// sorted by position. Kernel bodies are found at launch sites (function
+// literals or variables bound to them) and as kernel-signature function
+// declarations.
+func StrideReport(pkg *lint.Package) []StrideLoop {
+	var out []StrideLoop
+	for _, k := range packageKernels(pkg) {
+		out = append(out, classifyKernelLoops(pkg, k.name, k.body)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Kernel < b.Kernel
+	})
+	return out
+}
+
+// namedKernel is one discovered kernel body.
+type namedKernel struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// packageKernels discovers every kernel body with its best-known name.
+func packageKernels(pkg *lint.Package) []namedKernel {
+	type cand struct {
+		name string
+		body *ast.BlockStmt
+		pos  token.Pos
+	}
+	byBody := make(map[*ast.BlockStmt]*cand)
+	add := func(name string, body *ast.BlockStmt, pos token.Pos) {
+		if body == nil {
+			return
+		}
+		if c := byBody[body]; c != nil {
+			if c.name == "" {
+				c.name = name
+			}
+			return
+		}
+		byBody[body] = &cand{name: name, body: body, pos: pos}
+	}
+	litName := make(map[*ast.FuncLit]string)
+	for _, file := range pkg.Files {
+		// Pass 1: names via variable bindings and declarations.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				// Kernel-signature declarations and device helpers (any
+				// function taking the ExecContext, like a per-row lifting
+				// step a kernel calls) both carry classifiable loops.
+				if x.Body != nil && x.Type.Params != nil {
+					if t := pkg.Info.TypeOf(x.Name); t != nil && (isKernelFunc(t) || hasExecContextParam(t)) {
+						add(x.Name.Name, x.Body, x.Pos())
+					}
+				}
+			case *ast.AssignStmt:
+				for i, r := range x.Rhs {
+					lit, ok := ast.Unparen(r).(*ast.FuncLit)
+					if !ok || i >= len(x.Lhs) {
+						continue
+					}
+					if t := pkg.Info.TypeOf(lit); t == nil || !isKernelFunc(t) {
+						continue
+					}
+					if id, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok {
+						litName[lit] = id.Name
+					}
+				}
+			}
+			return true
+		})
+		// Pass 2: launch sites override with the launch-time kernel name.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			op, ok := classifyOp(pkg.Info, call)
+			if !ok || op.kind != opLaunch {
+				return true
+			}
+			name := launchKernelName(call)
+			if lit, ok := ast.Unparen(call.Args[op.dst]).(*ast.FuncLit); ok {
+				if c := byBody[lit.Body]; c != nil && name != "" {
+					c.name = name
+				} else {
+					add(name, lit.Body, lit.Pos())
+				}
+			}
+			return true
+		})
+		// Pass 3: any kernel literal not covered yet (bound but never
+		// launched with a literal name) falls back to its binding variable
+		// or, failing that, the enclosing function (launch helpers that
+		// forward the kernel name as a parameter).
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if t := pkg.Info.TypeOf(lit); t != nil && isKernelFunc(t) {
+					name := litName[lit]
+					if name == "" {
+						name = fd.Name.Name
+					}
+					add(name, lit.Body, lit.Pos())
+				}
+				return true
+			})
+		}
+	}
+	var out []namedKernel
+	var cands []*cand
+	for _, c := range byBody {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].pos < cands[j].pos })
+	for _, c := range cands {
+		name := c.name
+		if name == "" {
+			name = "(anonymous)"
+		}
+		out = append(out, namedKernel{name: name, body: c.body})
+	}
+	return out
+}
+
+// hasExecContextParam reports whether t is a function type with an
+// ExecContext parameter somewhere in its signature.
+func hasExecContextParam(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isExecContextPtr(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyKernelLoops runs the induction analysis over one kernel body.
+func classifyKernelLoops(pkg *lint.Package, name string, body *ast.BlockStmt) []StrideLoop {
+	a := &strideAnalysis{pkg: pkg, kernel: name, defs: make(map[types.Object][]ast.Expr)}
+	// Collect every local definition once, for address-variable chasing.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
+				if obj := pkg.Info.ObjectOf(id); obj != nil {
+					a.defs[obj] = append(a.defs[obj], as.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+	a.walk(body, nil)
+	return a.loops
+}
+
+// loopCtx is one enclosing loop during the walk.
+type loopCtx struct {
+	node ast.Node
+	ivar types.Object
+	// assigned is the set of objects assigned anywhere in the loop body
+	// (loop-carried state: not linear in the induction variable).
+	assigned map[types.Object]bool
+	report   *StrideLoop
+}
+
+type strideAnalysis struct {
+	pkg    *lint.Package
+	kernel string
+	defs   map[types.Object][]ast.Expr
+	loops  []StrideLoop
+}
+
+// walk descends the kernel body, pushing loop contexts and attributing
+// accesses to the innermost one.
+func (a *strideAnalysis) walk(n ast.Node, stack []*loopCtx) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			a.enterLoop(x, inductionVar(a.pkg.Info, x), x.Body, stack)
+			return false
+		case *ast.RangeStmt:
+			var ivar types.Object
+			if id, ok := x.Key.(*ast.Ident); ok && id.Name != "_" {
+				ivar = a.pkg.Info.ObjectOf(id)
+			}
+			a.enterLoop(x, ivar, x.Body, stack)
+			return false
+		case *ast.CallExpr:
+			a.visitCall(x, stack)
+		}
+		return true
+	})
+}
+
+// enterLoop records the loop, then walks its body with the new context.
+func (a *strideAnalysis) enterLoop(node ast.Node, ivar types.Object, body *ast.BlockStmt, stack []*loopCtx) {
+	lc := &loopCtx{node: node, ivar: ivar, assigned: assignedObjects(a.pkg.Info, body)}
+	a.loops = append(a.loops, StrideLoop{
+		Kernel: a.kernel,
+		Pos:    a.pkg.Fset.Position(node.Pos()),
+		Depth:  len(stack) + 1,
+	})
+	lc.report = &a.loops[len(a.loops)-1]
+	// The walk below may append nested loops, invalidating lc.report;
+	// remember the index instead.
+	idx := len(a.loops) - 1
+	stack = append(stack, lc)
+	// Walk the loop header expressions too: accesses can hide in the
+	// condition (while-style loops reading device memory).
+	switch x := node.(type) {
+	case *ast.ForStmt:
+		if x.Init != nil {
+			a.walk(x.Init, stack[:len(stack)-1])
+		}
+		if x.Cond != nil {
+			a.walkWithIndex(x.Cond, stack, idx)
+		}
+		if x.Post != nil {
+			a.walkWithIndex(x.Post, stack, idx)
+		}
+	}
+	a.walkWithIndex(body, stack, idx)
+}
+
+// walkWithIndex is walk with the innermost loop's report addressed by
+// index (the loops slice may grow).
+func (a *strideAnalysis) walkWithIndex(n ast.Node, stack []*loopCtx, idx int) {
+	stack[len(stack)-1].report = &a.loops[idx]
+	a.walk(n, stack)
+	stack[len(stack)-1].report = &a.loops[idx]
+}
+
+// visitCall attributes one recognized ctx access to the innermost loop.
+func (a *strideAnalysis) visitCall(call *ast.CallExpr, stack []*loopCtx) {
+	kind, addrIdx := execContextAccess(a.pkg.Info, call)
+	if kind == opNone || addrIdx >= len(call.Args) || len(stack) == 0 {
+		return
+	}
+	lc := stack[len(stack)-1]
+	size := accessSize(calleeName(call))
+	class := a.classify(call.Args[addrIdx], lc, size, 0)
+	rep := lc.report
+	switch class {
+	case StrideUnit:
+		rep.Unit++
+	case StrideStrided:
+		rep.Strided++
+	case StrideIrregular:
+		rep.Irregular++
+	}
+	if class > rep.Class {
+		rep.Class = class
+	}
+}
+
+// classify reduces an address expression to a stride class relative to
+// the loop's induction variable.
+func (a *strideAnalysis) classify(addr ast.Expr, lc *loopCtx, size int64, depth int) StrideClass {
+	f := a.linear(addr, lc, depth, make(map[types.Object]bool))
+	switch f.kind {
+	case formInvariant:
+		return StrideUnit // same address every iteration: broadcast
+	case formLinear:
+		if !f.constCoeff {
+			return StrideStrided
+		}
+		c := f.coeff
+		if c < 0 {
+			c = -c
+		}
+		if c == 0 || (size > 0 && c == size) {
+			return StrideUnit
+		}
+		return StrideStrided
+	}
+	return StrideIrregular
+}
+
+// linForm is the symbolic shape of an integer expression relative to one
+// induction variable.
+type linForm struct {
+	kind       uint8
+	coeff      int64 // induction coefficient, valid when constCoeff
+	constCoeff bool
+	val        int64 // expression value, valid when isConst
+	isConst    bool
+}
+
+const (
+	formInvariant uint8 = iota // no induction dependence
+	formLinear                 // coeff*ivar + invariant
+	formNonlinear              // anything else (data-dependent, products)
+)
+
+// linear evaluates e's form. visiting guards recursive substitution of
+// single-definition locals.
+func (a *strideAnalysis) linear(e ast.Expr, lc *loopCtx, depth int, visiting map[types.Object]bool) linForm {
+	if depth > 24 {
+		return linForm{kind: formNonlinear}
+	}
+	// Whole-expression constants (literals, named constants, constant
+	// arithmetic) are invariant with a known value.
+	if tv, ok := a.pkg.Info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constantInt(tv); exact {
+			return linForm{kind: formInvariant, val: v, isConst: true}
+		}
+		return linForm{kind: formInvariant}
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := a.pkg.Info.ObjectOf(x)
+		if obj == nil {
+			return linForm{kind: formNonlinear}
+		}
+		if obj == lc.ivar {
+			return linForm{kind: formLinear, coeff: 1, constCoeff: true}
+		}
+		if visiting[obj] {
+			return linForm{kind: formNonlinear} // loop-carried recurrence
+		}
+		if defs := a.defs[obj]; len(defs) == 1 {
+			visiting[obj] = true
+			f := a.linear(defs[0], lc, depth+1, visiting)
+			delete(visiting, obj)
+			return f
+		}
+		if lc.assigned[obj] {
+			return linForm{kind: formNonlinear} // reassigned in the loop
+		}
+		return linForm{kind: formInvariant}
+	case *ast.BinaryExpr:
+		return a.linearBinary(x, lc, depth, visiting)
+	case *ast.UnaryExpr:
+		f := a.linear(x.X, lc, depth+1, visiting)
+		switch x.Op {
+		case token.ADD:
+			return f
+		case token.SUB:
+			f.coeff, f.val = -f.coeff, -f.val
+			return f
+		}
+		return linForm{kind: formNonlinear}
+	case *ast.CallExpr:
+		// Type conversions (int(...), gpu.DevicePtr(...)) are transparent.
+		if tv, ok := a.pkg.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return a.linear(x.Args[0], lc, depth+1, visiting)
+		}
+		// Launch-geometry getters are loop-invariant; any other call's
+		// value (loaded data above all) is opaque.
+		switch calleeName(x) {
+		case "Threads", "Grid", "Block":
+			return linForm{kind: formInvariant}
+		}
+		return linForm{kind: formNonlinear}
+	case *ast.SelectorExpr:
+		// Field reads are invariant unless something inside is
+		// loop-assigned or induction-dependent.
+		if a.mentionsLoopState(x, lc) {
+			return linForm{kind: formNonlinear}
+		}
+		return linForm{kind: formInvariant}
+	case *ast.IndexExpr:
+		// Host-table lookups inside kernels: data-dependent.
+		return linForm{kind: formNonlinear}
+	}
+	if a.mentionsLoopState(e, lc) {
+		return linForm{kind: formNonlinear}
+	}
+	return linForm{kind: formInvariant}
+}
+
+// linearBinary combines the two operand forms.
+func (a *strideAnalysis) linearBinary(x *ast.BinaryExpr, lc *loopCtx, depth int, visiting map[types.Object]bool) linForm {
+	l := a.linear(x.X, lc, depth+1, visiting)
+	r := a.linear(x.Y, lc, depth+1, visiting)
+	if l.kind == formNonlinear || r.kind == formNonlinear {
+		return linForm{kind: formNonlinear}
+	}
+	switch x.Op {
+	case token.ADD, token.SUB:
+		neg := int64(1)
+		if x.Op == token.SUB {
+			neg = -1
+		}
+		out := linForm{kind: formInvariant}
+		if l.kind == formLinear || r.kind == formLinear {
+			out.kind = formLinear
+			out.constCoeff = true
+			switch {
+			case l.kind == formLinear && r.kind == formLinear:
+				out.constCoeff = l.constCoeff && r.constCoeff
+				out.coeff = l.coeff + neg*r.coeff
+			case l.kind == formLinear:
+				out.constCoeff = l.constCoeff
+				out.coeff = l.coeff
+			default:
+				out.constCoeff = r.constCoeff
+				out.coeff = neg * r.coeff
+			}
+			if out.constCoeff && out.coeff == 0 {
+				out = linForm{kind: formInvariant}
+			}
+			return out
+		}
+		if l.isConst && r.isConst {
+			return linForm{kind: formInvariant, val: l.val + neg*r.val, isConst: true}
+		}
+		return out
+	case token.MUL:
+		if l.kind == formLinear && r.kind == formLinear {
+			return linForm{kind: formNonlinear}
+		}
+		if l.kind == formInvariant && r.kind == formInvariant {
+			if l.isConst && r.isConst {
+				return linForm{kind: formInvariant, val: l.val * r.val, isConst: true}
+			}
+			return linForm{kind: formInvariant}
+		}
+		lin, inv := l, r
+		if r.kind == formLinear {
+			lin, inv = r, l
+		}
+		if inv.isConst && lin.constCoeff {
+			c := lin.coeff * inv.val
+			if c == 0 {
+				return linForm{kind: formInvariant}
+			}
+			return linForm{kind: formLinear, coeff: c, constCoeff: true}
+		}
+		return linForm{kind: formLinear} // symbolic non-constant stride
+	case token.SHL:
+		if l.kind == formLinear && r.isConst && l.constCoeff {
+			return linForm{kind: formLinear, coeff: l.coeff << uint(r.val), constCoeff: true}
+		}
+		if l.kind == formInvariant && r.kind == formInvariant {
+			return linForm{kind: formInvariant}
+		}
+		return linForm{kind: formNonlinear}
+	case token.QUO, token.REM, token.SHR, token.AND, token.OR, token.XOR, token.AND_NOT:
+		if l.kind == formInvariant && r.kind == formInvariant {
+			return linForm{kind: formInvariant}
+		}
+		return linForm{kind: formNonlinear}
+	}
+	return linForm{kind: formNonlinear}
+}
+
+// mentionsLoopState reports whether e mentions the induction variable or
+// any object assigned inside the loop.
+func (a *strideAnalysis) mentionsLoopState(e ast.Expr, lc *loopCtx) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := a.pkg.Info.ObjectOf(id)
+			if obj != nil && (obj == lc.ivar || lc.assigned[obj]) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// constantInt extracts an exact int64 from a constant type-and-value.
+func constantInt(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// inductionVar extracts the canonical `for i := lo; i < hi; i++` (or
+// i += c, i = i + c) induction variable, nil when the loop has none.
+func inductionVar(info *types.Info, fs *ast.ForStmt) types.Object {
+	var obj types.Object
+	if as, ok := fs.Init.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+			obj = info.ObjectOf(id)
+		}
+	}
+	if obj == nil {
+		return nil
+	}
+	switch post := fs.Post.(type) {
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(post.X).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			return obj
+		}
+	case *ast.AssignStmt:
+		if len(post.Lhs) == 1 {
+			if id, ok := ast.Unparen(post.Lhs[0]).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// assignedObjects collects every object assigned anywhere under n
+// (including nested loops' induction variables: they are loop-carried
+// state from the enclosing loop's point of view).
+func assignedObjects(info *types.Info, n ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.ObjectOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{x.Key, x.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.ObjectOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// strideAnalyzer wraps the report as a lint analyzer: one informational
+// diagnostic per access-bearing loop (silent loops stay silent so the
+// fixture noise stays manageable).
+func strideAnalyzer() *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "stride",
+		Doc:  "classifies every kernel loop's device accesses as unit/strided/irregular (coalescing precursor)",
+		Run: func(pass *lint.Pass) {
+			pkg := passPackage(pass)
+			for _, l := range StrideReport(pkg) {
+				if l.Class == StrideNone {
+					continue
+				}
+				pass.Reportf(posFor(pkg.Fset, l.Pos), "kernel %q loop depth %d: %s access [unit=%d strided=%d irregular=%d]",
+					l.Kernel, l.Depth, l.Class, l.Unit, l.Strided, l.Irregular)
+			}
+		},
+	}
+}

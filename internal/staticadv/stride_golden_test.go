@@ -1,0 +1,84 @@
+package staticadv_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"drgpum/internal/lint"
+	"drgpum/internal/staticadv"
+)
+
+// TestStrideReportWorkloadsGolden pins the stride classification of four
+// bundled workloads. Every kernel loop must be classified, the report
+// order is deterministic (position-sorted), and the class/count tuples
+// are golden: a classifier change that reclassifies any loop shows up as
+// a diff here. Keys omit line numbers so unrelated edits to the workload
+// files do not invalidate the golden; the in-file order still pins the
+// sorted report.
+func TestStrideReportWorkloadsGolden(t *testing.T) {
+	pkgs, err := lint.Load("drgpum/internal/workloads")
+	if err != nil {
+		t.Fatalf("loading workloads: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected one package, got %d", len(pkgs))
+	}
+	report := staticadv.StrideReport(pkgs[0])
+
+	got := make(map[string][]string)
+	for _, l := range report {
+		base := filepath.Base(l.Pos.Filename)
+		got[base] = append(got[base],
+			fmt.Sprintf("%s d%d %s u%d s%d i%d", l.Kernel, l.Depth, l.Class, l.Unit, l.Strided, l.Irregular))
+	}
+
+	want := map[string][]string{
+		"bicg.go": {
+			`launchBICG d1 unit u2 s0 i0`,
+			`launchBICG d2 irregular u3 s0 i1`,
+			`launchBICG d1 unit u1 s0 i0`,
+			`launchBICG d1 unit u1 s0 i0`,
+			`launchBICG d2 irregular u0 s0 i1`,
+		},
+		"dwt2d.go": {
+			`fdwt53_horizontal d1 none u0 s0 i0`,
+			`fdwt53_vertical d1 none u0 s0 i0`,
+			`fdwt53_vertical d2 strided u0 s1 i0`,
+			`fdwt53_vertical d2 none u0 s0 i0`,
+			`fdwt53_vertical d2 strided u0 s2 i0`,
+			`lift53Device d1 strided u0 s4 i0`,
+			`lift53Device d1 strided u0 s4 i0`,
+		},
+		"gramschmidt.go": {
+			`gramschmidt_kernel1 d1 strided u0 s1 i0`,
+			`gramschmidt_kernel2 d1 strided u0 s2 i0`,
+			`gramschmidt_kernel3 d1 none u0 s0 i0`,
+			`gramschmidt_kernel3 d2 strided u0 s2 i0`,
+			`gramschmidt_kernel3 d2 strided u1 s3 i0`,
+			`gramschmidt_kernel3 d1 strided u0 s1 i0`,
+			`gramschmidt_kernel3 d1 none u0 s0 i0`,
+			`gramschmidt_kernel3 d2 strided u0 s1 i0`,
+			`gramschmidt_kernel3 d2 strided u0 s2 i0`,
+		},
+		"huffman.go": {
+			`histogram256 d1 unit u1 s0 i0`,
+			`histogram256 d1 irregular u1 s0 i2`,
+			`histogram256 d1 unit u3 s0 i0`,
+			`huffman_encode d1 irregular u1 s0 i1`,
+			`huffman_encode d2 none u0 s0 i0`,
+		},
+	}
+	for file, lines := range want {
+		if !reflect.DeepEqual(got[file], lines) {
+			t.Errorf("%s stride classification changed:\n got %q\nwant %q", file, got[file], lines)
+		}
+	}
+
+	// Coverage invariant: the report carries every loop, classified or
+	// not — a kernel loop the analysis cannot see would vanish silently.
+	if len(report) < 40 {
+		t.Errorf("stride report shrank to %d loops; kernel discovery regressed", len(report))
+	}
+}

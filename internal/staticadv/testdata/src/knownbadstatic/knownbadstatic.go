@@ -1,0 +1,64 @@
+// Package knownbadstatic plants exactly one instance of every pattern
+// the static kernel advisor detects — early allocation, late
+// deallocation, unused allocation, an adjacent dead-write pair, a
+// write-only kernel output, a redundant host-to-device copy, and a
+// strided kernel loop. The regression test pins the exact diagnostic
+// set, so any analyzer change that adds, drops or moves a finding here
+// is caught immediately.
+package knownbadstatic
+
+import "drgpum/gpusim"
+
+// earlyInput allocates input three API calls before its first use.
+func earlyInput(dev *gpusim.Device, host []byte) {
+	input, _ := dev.Malloc(1024)
+	weights, _ := dev.Malloc(1024)
+	dev.MemcpyHtoD(weights, host, nil)
+	_ = dev.Free(weights)
+	dev.MemcpyHtoD(input, host, nil)
+	_ = dev.Free(input)
+}
+
+// lateRelease frees hold three API calls after its last use.
+func lateRelease(dev *gpusim.Device, host []byte) {
+	hold, _ := dev.Malloc(512)
+	dev.MemcpyHtoD(hold, host, nil)
+	tmp, _ := dev.Malloc(512)
+	dev.Memset(tmp, 0, 512, nil)
+	_ = dev.Free(tmp)
+	_ = dev.Free(hold)
+}
+
+// orphanScratch allocates a buffer nothing ever touches.
+func orphanScratch(dev *gpusim.Device) {
+	scratch, _ := dev.Malloc(256)
+	_ = dev.Free(scratch)
+}
+
+// clearThenStage memsets a frame and immediately overwrites it.
+func clearThenStage(dev *gpusim.Device, host []byte) {
+	frame, _ := dev.Malloc(256)
+	dev.Memset(frame, 0, 256, nil)
+	dev.MemcpyHtoD(frame, host, nil)
+	_ = dev.Free(frame)
+}
+
+// writeOnlyOutput stores into sink with a non-unit stride and never reads
+// it back.
+func writeOnlyOutput(dev *gpusim.Device) {
+	sink, _ := dev.Malloc(512)
+	_ = dev.LaunchFunc(nil, "scatter", gpusim.Dim1(1), gpusim.Dim1(64), func(ctx *gpusim.ExecContext) {
+		for i := 0; i < 64; i++ {
+			ctx.StoreF32(sink+gpusim.DevicePtr(i*8), 1)
+		}
+	})
+	_ = dev.Free(sink)
+}
+
+// doubleUpload stages the same host slice twice back to back.
+func doubleUpload(dev *gpusim.Device, host []byte) {
+	stage, _ := dev.Malloc(512)
+	dev.MemcpyHtoD(stage, host, nil)
+	dev.MemcpyHtoD(stage, host, nil)
+	_ = dev.Free(stage)
+}

@@ -1,0 +1,68 @@
+// Package lifetime is the fixture for the lifetime analyzer: allocations
+// hoisted above their first use and frees sunk below the last use must be
+// flagged; tight lifetimes, loop allocations and conditional frees must
+// not.
+package lifetime
+
+import "drgpum/gpusim"
+
+// earlyAlloc allocates early: three GPU API calls separate the allocation
+// from the first use — flagged at the allocation.
+func earlyAlloc(dev *gpusim.Device, host []byte) {
+	early, _ := dev.Malloc(64) // want `buffer "early" is allocated 3 GPU API call\(s\) before its first use`
+	other, _ := dev.Malloc(64)
+	dev.MemcpyHtoD(other, host, nil)
+	_ = dev.Free(other)
+	dev.MemcpyHtoD(early, host, nil)
+	_ = dev.Free(early)
+}
+
+// lateFree keeps the buffer alive across three unrelated API calls after
+// its last use — flagged at the free.
+func lateFree(dev *gpusim.Device, host []byte) {
+	late, _ := dev.Malloc(64)
+	dev.MemcpyHtoD(late, host, nil)
+	scratch, _ := dev.Malloc(64)
+	dev.Memset(scratch, 0, 64, nil)
+	_ = dev.Free(scratch)
+	_ = dev.Free(late) // want `buffer "late" is freed 3 GPU API call\(s\) after its last use`
+}
+
+// tight allocates, uses and frees back to back — silent.
+func tight(dev *gpusim.Device, host []byte) {
+	buf, _ := dev.Malloc(64)
+	dev.MemcpyHtoD(buf, host, nil)
+	_ = dev.Free(buf)
+}
+
+// loopAlloc allocates per iteration: one static site, many dynamic
+// objects — ordering analysis does not apply, silent.
+func loopAlloc(dev *gpusim.Device, host []byte) {
+	for i := 0; i < 4; i++ {
+		buf, _ := dev.Malloc(64)
+		dev.MemcpyHtoD(buf, host, nil)
+		_ = dev.Free(buf)
+	}
+}
+
+// condFree frees only on one path: the free may not execute — silent.
+func condFree(dev *gpusim.Device, host []byte, flag bool) {
+	buf, _ := dev.Malloc(64)
+	dev.MemcpyHtoD(buf, host, nil)
+	scratch, _ := dev.Malloc(64)
+	dev.Memset(scratch, 0, 64, nil)
+	_ = dev.Free(scratch)
+	if flag {
+		_ = dev.Free(buf)
+	}
+}
+
+// allowedStaging keeps a staging buffer alive on purpose — silent.
+func allowedStaging(dev *gpusim.Device, host []byte) {
+	stage, _ := dev.Malloc(64)
+	dev.MemcpyHtoD(stage, host, nil)
+	other, _ := dev.Malloc(64)
+	dev.Memset(other, 0, 64, nil)
+	_ = dev.Free(other)
+	_ = dev.Free(stage) //staticadv:allow lifetime
+}

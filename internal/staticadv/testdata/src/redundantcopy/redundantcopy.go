@@ -1,0 +1,52 @@
+// Package redundantcopy is the fixture for the redundantcopy analyzer:
+// back-to-back HtoD copies of the same source into the same buffer must
+// be flagged; different sources, intervening statements and conditional
+// copies must not.
+package redundantcopy
+
+import "drgpum/gpusim"
+
+// doubleStage uploads the same host slice twice in adjacent statements —
+// the first transfer is pure waste, flagged.
+func doubleStage(dev *gpusim.Device, host []byte) {
+	buf, _ := dev.Malloc(64)
+	dev.MemcpyHtoD(buf, host, nil) // want `HtoD copy into "buf" is repeated from the same source host at line \d+`
+	dev.MemcpyHtoD(buf, host, nil)
+	_ = dev.Free(buf)
+}
+
+// differentSources uploads two different slices — silent.
+func differentSources(dev *gpusim.Device, a, b []byte) {
+	buf, _ := dev.Malloc(64)
+	dev.MemcpyHtoD(buf, a, nil)
+	dev.MemcpyHtoD(buf, b, nil)
+	_ = dev.Free(buf)
+}
+
+// interveningStatement breaks statement adjacency: the model no longer
+// knows nothing happened in between — silent.
+func interveningStatement(dev *gpusim.Device, host []byte) {
+	buf, _ := dev.Malloc(64)
+	dev.MemcpyHtoD(buf, host, nil)
+	dev.Synchronize()
+	dev.MemcpyHtoD(buf, host, nil)
+	_ = dev.Free(buf)
+}
+
+// conditionalPair sits under an undecidable condition — silent.
+func conditionalPair(dev *gpusim.Device, host []byte, flag bool) {
+	buf, _ := dev.Malloc(64)
+	if flag {
+		dev.MemcpyHtoD(buf, host, nil)
+		dev.MemcpyHtoD(buf, host, nil)
+	}
+	_ = dev.Free(buf)
+}
+
+// allowedRetry re-stages deliberately under a pragma — silent.
+func allowedRetry(dev *gpusim.Device, host []byte) {
+	buf, _ := dev.Malloc(64)
+	dev.MemcpyHtoD(buf, host, nil) //staticadv:allow redundantcopy
+	dev.MemcpyHtoD(buf, host, nil)
+	_ = dev.Free(buf)
+}

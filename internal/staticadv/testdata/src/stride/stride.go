@@ -1,0 +1,51 @@
+// Package stride is the fixture for the stride analyzer: every kernel
+// loop with device accesses is classified unit, strided or irregular;
+// loops without accesses stay silent.
+package stride
+
+import "drgpum/gpusim"
+
+// launchPatterns runs one kernel with one loop per stride class.
+func launchPatterns(dev *gpusim.Device, hostIdx []int32) {
+	in, _ := dev.Malloc(4096)
+	out, _ := dev.Malloc(4096)
+	_ = dev.LaunchFunc(nil, "patterns", gpusim.Dim1(1), gpusim.Dim1(64), func(ctx *gpusim.ExecContext) {
+		n := 64
+		for i := 0; i < n; i++ { // want `kernel "patterns" loop depth 1: unit access \[unit=2 strided=0 irregular=0\]`
+			v := ctx.LoadF32(in + gpusim.DevicePtr(i*4))
+			ctx.StoreF32(out+gpusim.DevicePtr(i*4), v)
+		}
+		for i := 0; i < n; i++ { // want `kernel "patterns" loop depth 1: strided access \[unit=0 strided=1 irregular=0\]`
+			ctx.StoreF32(out+gpusim.DevicePtr(i*32), 0)
+		}
+		for i := 0; i < n; i++ { // want `kernel "patterns" loop depth 1: irregular access \[unit=0 strided=0 irregular=1\]`
+			ctx.StoreF32(out+gpusim.DevicePtr(int(hostIdx[i])*4), 0)
+		}
+	})
+	_ = dev.Free(in)
+	_ = dev.Free(out)
+}
+
+// launchColumnMajor walks a row-major matrix down its columns: the inner
+// loop's address advances by a full row per iteration. The outer loop
+// performs no accesses of its own and stays silent.
+func launchColumnMajor(dev *gpusim.Device) {
+	mat, _ := dev.Malloc(4096)
+	_ = dev.LaunchFunc(nil, "colmajor", gpusim.Dim1(1), gpusim.Dim1(64), func(ctx *gpusim.ExecContext) {
+		rows, cols := 8, 8
+		for c := 0; c < cols; c++ {
+			for r := 0; r < rows; r++ { // want `kernel "colmajor" loop depth 2: strided access \[unit=0 strided=1 irregular=0\]`
+				ctx.StoreF32(mat+gpusim.DevicePtr((r*cols+c)*4), 1)
+			}
+		}
+	})
+	_ = dev.Free(mat)
+}
+
+// deviceHelper is a device-side helper (an ExecContext parameter, not the
+// kernel signature): its loops are classified too.
+func deviceHelper(ctx *gpusim.ExecContext, row gpusim.DevicePtr, n int) {
+	for i := 0; i < n; i++ { // want `kernel "deviceHelper" loop depth 1: unit access \[unit=1 strided=0 irregular=0\]`
+		ctx.StoreF32(row+gpusim.DevicePtr(i*4), 0)
+	}
+}

@@ -1,0 +1,49 @@
+// Package unusedalloc is the fixture for the unusedalloc analyzer: device
+// buffers no operation ever touches must be flagged; used, escaped and
+// conditionally used buffers must not.
+package unusedalloc
+
+import "drgpum/gpusim"
+
+// orphan allocates a buffer that reaches no kernel, memset or copy —
+// flagged at the allocation.
+func orphan(dev *gpusim.Device) {
+	dead, _ := dev.Malloc(64) // want `device buffer "dead" is allocated but never reaches a kernel, memset or copy`
+	used, _ := dev.Malloc(64)
+	dev.Memset(used, 0, 64, nil)
+	_ = dev.Free(dead)
+	_ = dev.Free(used)
+}
+
+// escapes returns the buffer: its uses are out of sight — silent.
+func escapes(dev *gpusim.Device) gpusim.DevicePtr {
+	p, _ := dev.Malloc(64)
+	return p
+}
+
+// maybeUsed touches the buffer only under an undecidable condition: a
+// may-use still counts as a use — silent.
+func maybeUsed(dev *gpusim.Device, flag bool) {
+	buf, _ := dev.Malloc(64)
+	if flag {
+		dev.Memset(buf, 0, 64, nil)
+	}
+	_ = dev.Free(buf)
+}
+
+// kernelOnly is used solely as a kernel operand — a use, silent.
+func kernelOnly(dev *gpusim.Device) {
+	buf, _ := dev.Malloc(256)
+	_ = dev.LaunchFunc(nil, "touch", gpusim.Dim1(1), gpusim.Dim1(32), func(ctx *gpusim.ExecContext) {
+		for i := 0; i < 32; i++ {
+			ctx.StoreF32(buf+gpusim.DevicePtr(i*4), 0)
+		}
+	})
+	_ = dev.Free(buf)
+}
+
+// allowedScratch is an intentional placeholder under a pragma — silent.
+func allowedScratch(dev *gpusim.Device) {
+	scratch, _ := dev.Malloc(64) //staticadv:allow unusedalloc
+	_ = dev.Free(scratch)
+}

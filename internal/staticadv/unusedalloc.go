@@ -1,0 +1,32 @@
+package staticadv
+
+import (
+	"fmt"
+
+	"drgpum/internal/pattern"
+)
+
+// detectUnusedAlloc flags device buffers whose contents no operation ever
+// touches: no kernel capture, no memset, no copy in either direction.
+// This is the static mirror of the dynamic Unused Allocation rule (zero
+// recorded accesses between alloc and free). Escaped buffers carry an
+// opUnknown access and so are skipped automatically; conditional uses
+// count as uses (may-use keeps the analyzer honest on programs the model
+// cannot fully decide).
+func detectUnusedAlloc(m *model) []Finding {
+	var out []Finding
+	for _, b := range m.buffers {
+		if b.escaped || len(b.accesses) > 0 {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "unusedalloc",
+			Pattern:  pattern.UnusedAllocation,
+			Pos:      m.pkg.Fset.Position(b.alloc.pos),
+			Object:   b.displayName(),
+			Message: fmt.Sprintf("device buffer %q is allocated but never reaches a kernel, memset or copy",
+				b.displayName()),
+		})
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package staticadv
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"drgpum/internal/lint"
+)
+
+// WorkloadFindings is the advisor's result for one workload under one
+// variant assumption.
+type WorkloadFindings struct {
+	// Workload is the registered name ("polybench/2mm", ...).
+	Workload string
+	// Variant is the assumption the variant branches were pruned under.
+	Variant Variant
+	// Findings is the sorted finding set of the workload's Run function.
+	Findings []Finding
+}
+
+// AnalyzeWorkloads analyzes each workload declared in the package — any
+// Workload composite literal carrying a Name and a Run function — with
+// its Run function as the sole entry point, under the given variant.
+// Results are sorted by workload name. This is the static half of the
+// internal/tables cross-validation.
+func AnalyzeWorkloads(pkg *lint.Package, v Variant) []WorkloadFindings {
+	funcs := declsByName(pkg)
+	entries := workloadEntries(pkg, funcs)
+	out := make([]WorkloadFindings, 0, len(entries))
+	for _, e := range entries {
+		m := buildModel(pkg, v, []*ast.FuncDecl{e.run})
+		var fs []Finding
+		fs = append(fs, detectDeadStore(m)...)
+		fs = append(fs, detectUnusedAlloc(m)...)
+		fs = append(fs, detectLifetime(m)...)
+		fs = append(fs, detectRedundantCopy(m)...)
+		fs = filterAllowed(pkg, fs, "")
+		sortFindings(fs)
+		out = append(out, WorkloadFindings{Workload: e.name, Variant: v, Findings: fs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
+}
+
+// workloadEntry pairs a workload name with its Run declaration.
+type workloadEntry struct {
+	name string
+	run  *ast.FuncDecl
+}
+
+// declsByName indexes the package's function declarations by object.
+func declsByName(pkg *lint.Package) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// workloadEntries finds every Workload{Name: ..., Run: ...} literal.
+func workloadEntries(pkg *lint.Package, funcs map[types.Object]*ast.FuncDecl) []workloadEntry {
+	var out []workloadEntry
+	seen := make(map[string]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isWorkloadType(pkg.Info.TypeOf(cl)) {
+				return true
+			}
+			var name string
+			var run *ast.FuncDecl
+			for _, el := range cl.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "Name":
+					if tv, ok := pkg.Info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						name = constant.StringVal(tv.Value)
+					}
+				case "Run":
+					if id, ok := ast.Unparen(kv.Value).(*ast.Ident); ok {
+						if obj := pkg.Info.ObjectOf(id); obj != nil {
+							run = funcs[obj]
+						}
+					}
+				}
+			}
+			if name != "" && run != nil && !seen[name] {
+				seen[name] = true
+				out = append(out, workloadEntry{name: name, run: run})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// isWorkloadType matches the workloads.Workload struct (or a pointer to
+// it) by name within this module.
+func isWorkloadType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Workload" &&
+		obj.Pkg() != nil && strings.HasPrefix(obj.Pkg().Path(), "drgpum")
+}
