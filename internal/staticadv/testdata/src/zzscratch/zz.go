@@ -1,0 +1,23 @@
+package zzscratch
+
+import "drgpum/gpusim"
+
+// consume reads device memory through an opaque path the model cannot
+// see (no ExecContext param, takes the raw pointer value).
+func stash(p gpusim.DevicePtr) gpusim.DevicePtr { return p }
+
+var sink gpusim.DevicePtr
+
+// helper stores to p, then leaks p to an unanalyzable call.
+func helper(ctx *gpusim.ExecContext, p gpusim.DevicePtr) {
+	ctx.StoreF32(p, 1)
+	sink = stash(p)
+}
+
+func launch(dev *gpusim.Device) {
+	buf, _ := dev.Malloc(4096)
+	_ = dev.LaunchFunc(nil, "k", gpusim.Dim1(1), gpusim.Dim1(64), func(ctx *gpusim.ExecContext) {
+		helper(ctx, buf)
+	})
+	_ = dev.Free(buf)
+}

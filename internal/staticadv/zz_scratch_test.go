@@ -1,0 +1,17 @@
+package staticadv
+
+import (
+	"testing"
+
+	"drgpum/internal/lint"
+)
+
+func TestScratchHelperEscape(t *testing.T) {
+	pkgs, err := lint.Load("drgpum/internal/staticadv/testdata/src/zzscratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range AnalyzePackage(pkgs[0], Config{Variant: VariantNaive}) {
+		t.Logf("%s", f)
+	}
+}
