@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check build test race vet fmt lint api staticadv bench bench-streaming cover
+.PHONY: check build test race vet fmt lint api staticadv serve-smoke bench bench-streaming cover
 
 # check is the tier-1 verify gate (see ROADMAP.md): static checks, the
 # invariant linter suite, the static kernel advisor gate, the public API
-# surface lock, the full test suite, and the race-enabled run that guards
-# the concurrent offline analysis pipeline. Steps run in cheapest-first
-# order and fail fast; each announces itself so CI logs show exactly
-# where a red run stopped.
-check: vet fmt build lint staticadv api test race
+# surface lock, the full test suite, the race-enabled run that guards
+# the concurrent offline analysis pipeline, and the drgpum-serve smoke
+# round-trip. Steps run in cheapest-first order and fail fast; each
+# announces itself so CI logs show exactly where a red run stopped.
+check: vet fmt build lint staticadv api test race serve-smoke
 	@echo "== check: all gates passed =="
 
 build:
@@ -62,6 +62,14 @@ staticadv:
 api:
 	@echo "== api =="
 	$(GO) run ./cmd/drgpum-api -check
+
+# serve-smoke boots the drgpum-serve daemon on a loopback port, drives
+# one profiling session end to end through its own HTTP API (submit →
+# poll → report → metrics), then shuts it down gracefully — the cheapest
+# whole-binary proof that the serving path works.
+serve-smoke:
+	@echo "== serve-smoke =="
+	$(GO) run ./cmd/drgpum-serve -smoke
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...

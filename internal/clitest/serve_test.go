@@ -1,0 +1,181 @@
+// End-to-end coverage for the drgpum-serve daemon: boot the real binary
+// on a loopback port, drive a session through its HTTP API, then send
+// SIGTERM with a session in flight and verify the graceful drain.
+package clitest
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServe boots drgpum-serve on a free port and returns its base URL,
+// scraped from the listening line, plus the running command and its
+// buffered stdout reader (for the drain line after exit).
+func startServe(t *testing.T, args ...string) (string, *exec.Cmd, *bufio.Reader) {
+	t.Helper()
+	cmd := command(t, "drgpum-serve", append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting drgpum-serve: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	r := bufio.NewReader(stdout)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v", err)
+	}
+	const marker = "listening on http://"
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("first output line is not the listen line: %q", line)
+	}
+	return "http://" + strings.TrimSpace(line[i+len(marker):]), cmd, r
+}
+
+func serveSubmit(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sessions: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/sessions: status %d: %s", resp.StatusCode, raw)
+	}
+	var sub struct{ ID string }
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatalf("submit response %q: %v", raw, err)
+	}
+	return sub.ID
+}
+
+func serveGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func serveWaitDone(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		status, body := serveGet(t, base+"/v1/sessions/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("GET session %s: status %d: %s", id, status, body)
+		}
+		var st struct{ State, Error string }
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("status body %q: %v", body, err)
+		}
+		switch st.State {
+		case "done":
+			return
+		case "failed":
+			t.Fatalf("session %s failed: %s", id, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("session %s did not finish", id)
+}
+
+func TestDrgpumServeSessionOverHTTP(t *testing.T) {
+	base, cmd, out := startServe(t)
+
+	id := serveSubmit(t, base, `{"runs":[{"workload":"simplemulticopy","mode":"object"}]}`)
+	if id != "s-1" {
+		t.Fatalf("first session ID %q, want s-1", id)
+	}
+	serveWaitDone(t, base, id)
+
+	status, report := serveGet(t, base+"/v1/sessions/"+id+"/report?format=text")
+	if status != http.StatusOK || !strings.Contains(report, "DrGPUM report") {
+		t.Fatalf("report: status %d:\n%s", status, report)
+	}
+	status, metrics := serveGet(t, base+"/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	for _, want := range []string{"sessions issued 1", "sessions done 1", "engine runs 1"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// A session still in flight when SIGTERM lands must be drained to
+	// completion before the daemon exits 0.
+	serveSubmit(t, base, `{"runs":[{"workload":"polybench/2mm","mode":"object"},{"workload":"polybench/bicg","mode":"object"}]}`)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	rest, _ := io.ReadAll(out)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("drgpum-serve exited non-zero: %v\n%s", err, rest)
+	}
+	drain := string(rest)
+	want := "drained; sessions issued=2 done=2 failed=0"
+	if !strings.Contains(drain, want) {
+		t.Fatalf("shutdown output missing %q:\n%s", want, drain)
+	}
+}
+
+func TestDrgpumServeSmoke(t *testing.T) {
+	out := run(t, "drgpum-serve", "-smoke")
+	for _, want := range []string{
+		"listening on http://127.0.0.1:",
+		"drgpum-serve: smoke ok",
+		"drained; sessions issued=1 done=1 failed=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDrgpumServeReportMatchesCLI pins the wire contract from outside
+// the process: the daemon's GUI trace for a default-configuration run
+// equals the file the offline drgpum CLI writes for the same flags,
+// byte for byte — two separate OS processes, one canonical artifact.
+func TestDrgpumServeReportMatchesCLI(t *testing.T) {
+	base, _, _ := startServe(t)
+
+	id := serveSubmit(t, base, `{"runs":[{"workload":"rodinia/huffman"}]}`)
+	serveWaitDone(t, base, id)
+	status, viaHTTP := serveGet(t, base+"/v1/sessions/"+id+"/report?format=gui")
+	if status != http.StatusOK {
+		t.Fatalf("report: status %d:\n%s", status, viaHTTP)
+	}
+
+	guiPath := filepath.Join(t.TempDir(), "liveness.json")
+	run(t, "drgpum", "-workload", "rodinia/huffman", "-gui", guiPath)
+	viaCLI, err := os.ReadFile(guiPath)
+	if err != nil {
+		t.Fatalf("reading CLI trace: %v", err)
+	}
+	if viaHTTP != string(viaCLI) {
+		t.Fatalf("GUI trace over HTTP differs from the drgpum CLI file (%d vs %d bytes)", len(viaHTTP), len(viaCLI))
+	}
+}

@@ -55,6 +55,40 @@ func RegisterExporter(f Format, fn func(*Report, io.Writer) error) {
 	exporters[f] = fn
 }
 
+// Formats returns every format Export can currently produce, in
+// declaration order: the built-in formats (text, profile, stats) plus
+// whichever renderer formats have a registered exporter. Iteration is
+// over the fixed enum, never the registration map, so the order is
+// deterministic (the serve report endpoint renders it into error
+// messages and tests sweep it).
+func Formats() []Format {
+	all := []Format{FormatText, FormatGUI, FormatHTML, FormatProfile, FormatStats}
+	out := make([]Format, 0, len(all))
+	for _, f := range all {
+		switch f {
+		case FormatText, FormatProfile, FormatStats:
+			out = append(out, f)
+		default:
+			if _, ok := exporters[f]; ok {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// ParseFormat resolves a format name (the Format.String form, as used by
+// the serve report endpoint's ?format= parameter) to its Format. Only
+// formats Export can currently produce resolve.
+func ParseFormat(name string) (Format, bool) {
+	for _, f := range Formats() {
+		if f.String() == name {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
 // Export writes the report to w in the requested format. Every legacy
 // entry point (Render, SaveProfile, drgpum.ExportGUI, drgpum.ExportHTML)
 // produces byte-identical output to the corresponding format here.

@@ -253,16 +253,30 @@ func (e *Engine) workers(n int) int {
 // plus the first error (in submission order, not completion order) if
 // any run failed. The result slice is always fully populated, so callers
 // needing per-run context can scan it themselves.
+func (e *Engine) Run(specs []RunSpec) ([]Result, error) {
+	results, _, err := e.RunWithStats(specs)
+	return results, err
+}
+
+// RunWithStats is Run plus a batch-local Stats delta: how this batch was
+// satisfied (fresh executions, completed-entry hits, in-flight dedups,
+// exclusive-lane timed runs), independent of whatever other batches the
+// shared engine served concurrently. Stats.Runs always equals len(specs)
+// and the runs=hits+dedups+misses+timed invariant holds per batch; note
+// the hits/dedups split depends on scheduling, only their sum is
+// deterministic. Multi-tenant callers (the drgpum-serve session store)
+// use the delta to attribute shared-cache reuse to one submission.
 //
 // The fan-out uses the module's sanctioned concurrency shape (the
 // sharedwrite lint contract): a semaphore bounds in-flight goroutines to
-// the pool size, and each goroutine writes only results[i] for the index
-// it received as a parameter.
-func (e *Engine) Run(specs []RunSpec) ([]Result, error) {
+// the pool size, and each goroutine writes only results[i] and kinds[i]
+// for the index it received as a parameter.
+func (e *Engine) RunWithStats(specs []RunSpec) ([]Result, Stats, error) {
 	results := make([]Result, len(specs))
+	kinds := make([]runKind, len(specs))
 	if nw := e.workers(len(specs)); e.cfg.Sequential || nw == 1 {
 		for i := range specs {
-			results[i] = e.runOne(specs[i])
+			results[i], kinds[i] = e.runOne(specs[i])
 		}
 	} else {
 		sem := make(chan struct{}, nw)
@@ -272,18 +286,31 @@ func (e *Engine) Run(specs []RunSpec) ([]Result, error) {
 			sem <- struct{}{}
 			go func(i int) {
 				defer wg.Done()
-				results[i] = e.runOne(specs[i])
+				results[i], kinds[i] = e.runOne(specs[i])
 				<-sem
 			}(i)
 		}
 		wg.Wait()
 	}
-	for i := range results {
-		if results[i].Err != nil {
-			return results, results[i].Err
+	batch := Stats{Runs: len(specs)}
+	for _, k := range kinds {
+		switch k {
+		case runHit:
+			batch.Hits++
+		case runDedup:
+			batch.Dedups++
+		case runMiss:
+			batch.Misses++
+		case runTimed:
+			batch.Timed++
 		}
 	}
-	return results, nil
+	for i := range results {
+		if results[i].Err != nil {
+			return results, batch, results[i].Err
+		}
+	}
+	return results, batch, nil
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -293,9 +320,20 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
+// runKind classifies how runOne satisfied one spec — the per-spec form
+// of the Stats fields, accumulated into batch deltas by RunWithStats.
+type runKind uint8
+
+const (
+	runMiss runKind = iota
+	runHit
+	runDedup
+	runTimed
+)
+
 // runOne resolves one spec: timed runs go straight to the exclusive
 // lane; untimed runs consult the cache with singleflight semantics.
-func (e *Engine) runOne(s RunSpec) Result {
+func (e *Engine) runOne(s RunSpec) (Result, runKind) {
 	e.mu.Lock()
 	e.stats.Runs++
 	e.cfg.Obs.Add(obs.CtrEngineRuns, 1)
@@ -303,21 +341,23 @@ func (e *Engine) runOne(s RunSpec) Result {
 		e.stats.Timed++
 		e.cfg.Obs.Add(obs.CtrEngineTimed, 1)
 		e.mu.Unlock()
-		return e.execTimed(s)
+		return e.execTimed(s), runTimed
 	}
 	k := keyOf(s)
 	if ent, ok := e.cache[k]; ok {
+		kind := runHit
 		select {
 		case <-ent.done:
 			e.stats.Hits++
 			e.cfg.Obs.Add(obs.CtrEngineHits, 1)
 		default:
+			kind = runDedup
 			e.stats.Dedups++
 			e.cfg.Obs.Add(obs.CtrEngineDedups, 1)
 		}
 		e.mu.Unlock()
 		<-ent.done
-		return ent.res
+		return ent.res, kind
 	}
 	ent := &entry{done: make(chan struct{})}
 	e.cache[k] = ent
@@ -326,7 +366,7 @@ func (e *Engine) runOne(s RunSpec) Result {
 	e.mu.Unlock()
 	ent.res = e.execShared(s)
 	close(ent.done)
-	return ent.res
+	return ent.res, runMiss
 }
 
 // execShared runs an untimed body under the read side of the lane:
@@ -353,11 +393,11 @@ func (e *Engine) execShared(s RunSpec) Result {
 func (e *Engine) execObserved(s RunSpec) Result {
 	master := e.cfg.Obs
 	if !master.Enabled() {
-		return exec(s, nil)
+		return runDetached(s, nil)
 	}
 	runRec := obs.New()
 	sp := master.Root().Child("engine").Child(s.Mode.String()).Start()
-	res := exec(s, runRec)
+	res := runDetached(s, runRec)
 	sp.End()
 	master.Merge(runRec.Snapshot())
 	return res

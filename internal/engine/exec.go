@@ -13,6 +13,22 @@ import (
 	"drgpum/internal/workloads"
 )
 
+// runDetached executes one run body on a fresh goroutine and waits for
+// it. The detour is not about concurrency — the caller blocks — but
+// about the call stack: the profiler interns full host call paths
+// (internal/callpath), and a goroutine spawned here always has the same
+// fixed stack base under the workload frames. Without it, the same run
+// submitted from the drgpum CLI's main goroutine, a parallel pool
+// worker, or a drgpum-serve session goroutine would intern different
+// path tables, and the profile/GUI exports — which serialize those
+// tables — would not be byte-identical across submitting contexts (the
+// serve contract tests pin that identity over HTTP).
+func runDetached(s RunSpec, rec *obs.Recorder) Result {
+	ch := make(chan Result, 1)
+	go func() { ch <- exec(s, rec) }()
+	return <-ch
+}
+
 // exec dispatches one run body. Every body builds its own gpu.Device, so
 // runs are fully independent; the wall clock starts after device
 // construction (matching the overhead figure's methodology) and, for

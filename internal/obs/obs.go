@@ -107,6 +107,30 @@ const (
 	NamedWindowObjectsSealed = "window/objects-sealed"
 )
 
+// Named counters published by the profiling server (internal/serve). Like
+// the streaming counters they are named, not fixed, so the fixed-counter
+// snapshot shape — and every byte-pinned report — is untouched when no
+// server is running.
+const (
+	// NamedServeSessions counts sessions submitted to the server.
+	NamedServeSessions = "serve/sessions"
+	// NamedServeRuns counts RunSpecs submitted inside those sessions
+	// (recorded on the per-session recorder; the server total therefore
+	// reflects completed sessions).
+	NamedServeRuns = "serve/runs"
+	// NamedServeFailed counts sessions that finished in the failed state.
+	NamedServeFailed = "serve/sessions-failed"
+	// NamedServeEvictLRU counts sessions evicted to hold the store's
+	// capacity bound.
+	NamedServeEvictLRU = "serve/evict-lru"
+	// NamedServeEvictTTL counts sessions retired by the idle-TTL sweep.
+	NamedServeEvictTTL = "serve/evict-ttl"
+	// NamedServeExports counts report bodies served over HTTP.
+	NamedServeExports = "serve/report-exports"
+	// NamedServeHTTP counts HTTP requests handled (all endpoints).
+	NamedServeHTTP = "serve/http-requests"
+)
+
 // counterIndex resolves a report name back to its Counter (used by Merge).
 var counterIndex = func() map[string]Counter {
 	m := make(map[string]Counter, numCounters)

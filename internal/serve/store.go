@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"drgpum/internal/obs"
+)
+
+// lookupStatus classifies a store lookup, mapping one-to-one onto the
+// API's 200/404/410 split.
+type lookupStatus uint8
+
+const (
+	// lookupLive means the session is resident (and was just touched).
+	lookupLive lookupStatus = iota
+	// lookupGone means the ID was issued but the session has been
+	// evicted or TTL-retired → 410 Gone.
+	lookupGone
+	// lookupUnknown means the ID was never issued → 404.
+	lookupUnknown
+)
+
+// store is the bounded resident-session set: an LRU list with a strict
+// capacity bound (enforced on every insert, so residency never exceeds
+// it even transiently) plus an idle-TTL sweep. Because session numbers
+// are issued monotonically by the store itself, "gone" needs no
+// tombstones: any number in [1, issued] that is not resident was
+// necessarily evicted.
+type store struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	now      func() time.Time
+	rec      *obs.Recorder
+
+	issued uint64
+	ll     *list.List // front = most recently used; values are *entry
+	byNum  map[uint64]*list.Element
+
+	evictLRU uint64
+	evictTTL uint64
+}
+
+// entry wraps a resident session with its last-touch time (the TTL
+// clock). last is guarded by the store mutex.
+type entry struct {
+	sess *Session
+	last time.Time
+}
+
+func newStore(capacity int, ttl time.Duration, now func() time.Time, rec *obs.Recorder) *store {
+	return &store{
+		capacity: capacity,
+		ttl:      ttl,
+		now:      now,
+		rec:      rec,
+		ll:       list.New(),
+		byNum:    make(map[uint64]*list.Element),
+	}
+}
+
+// add issues the next session number, stamps the session's ID, and
+// inserts it at the front of the LRU order, evicting from the back
+// first if the store is already full — the capacity bound holds before
+// and after every insert.
+func (st *store) add(sess *Session) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for st.ll.Len() >= st.capacity {
+		st.evictOldestLocked()
+	}
+	st.issued++
+	sess.num = st.issued
+	sess.ID = formatSessionID(st.issued)
+	el := st.ll.PushFront(&entry{sess: sess, last: st.now()})
+	st.byNum[sess.num] = el
+}
+
+// evictOldestLocked removes the least-recently-used session. Eviction is
+// about residency only: a still-running session keeps executing and its
+// results are simply no longer addressable.
+func (st *store) evictOldestLocked() {
+	el := st.ll.Back()
+	if el == nil {
+		return
+	}
+	st.removeLocked(el)
+	st.evictLRU++
+	st.rec.AddNamed(obs.NamedServeEvictLRU, 1)
+}
+
+func (st *store) removeLocked(el *list.Element) {
+	ent := st.ll.Remove(el).(*entry)
+	delete(st.byNum, ent.sess.num)
+}
+
+// get resolves a session number, touching it (LRU position and TTL
+// clock) when found.
+func (st *store) get(num uint64) (*Session, lookupStatus) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if num == 0 || num > st.issued {
+		return nil, lookupUnknown
+	}
+	el, ok := st.byNum[num]
+	if !ok {
+		return nil, lookupGone
+	}
+	ent := el.Value.(*entry)
+	ent.last = st.now()
+	st.ll.MoveToFront(el)
+	return ent.sess, lookupLive
+}
+
+// sweep retires every session idle longer than the TTL and returns how
+// many it removed.
+func (st *store) sweep() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cutoff := st.now().Add(-st.ttl)
+	n := 0
+	// Walk from the least-recently-used end; entries are LRU-ordered, so
+	// the first fresh one ends the scan.
+	for el := st.ll.Back(); el != nil; {
+		ent := el.Value.(*entry)
+		if ent.last.After(cutoff) {
+			break
+		}
+		prev := el.Prev()
+		st.removeLocked(el)
+		st.evictTTL++
+		st.rec.AddNamed(obs.NamedServeEvictTTL, 1)
+		n++
+		el = prev
+	}
+	return n
+}
+
+// counts reports the store-side Summary fields.
+func (st *store) counts() (issued uint64, resident int, evictLRU, evictTTL uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.issued, st.ll.Len(), st.evictLRU, st.evictTTL
+}
+
+// formatSessionID renders the canonical ID for session number n.
+func formatSessionID(n uint64) string {
+	return "s-" + strconv.FormatUint(n, 10)
+}
+
+// parseSessionID parses the canonical session-ID form "s-<n>": a decimal
+// with no leading zero that fits in a uint64. The grammar is strict so
+// the round trip formatSessionID(parseSessionID(id)) == id holds for
+// every accepted id (the fuzz test pins this) and every issued number
+// has exactly one addressable spelling.
+func parseSessionID(id string) (uint64, bool) {
+	if len(id) < 3 || id[0] != 's' || id[1] != '-' {
+		return 0, false
+	}
+	digits := id[2:]
+	if digits[0] == '0' {
+		return 0, false
+	}
+	var n uint64
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (math.MaxUint64-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}

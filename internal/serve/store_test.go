@@ -1,0 +1,147 @@
+// Unit tests for the bounded store: the capacity-1 LRU degenerate case,
+// fetch-after-evict → 410 Gone, TTL retirement, and the eviction
+// counters surfacing consistently in the metrics endpoint.
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCapacityOneLRUEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{Capacity: 1, TTL: time.Hour})
+
+	subA := submitSession(t, ts, `{"runs":[{"workload":"simplemulticopy","mode":"object"}]}`)
+	if st := waitDone(t, ts, subA.ID); st.State != "done" {
+		t.Fatalf("session A ended %s: %s", st.State, st.Error)
+	}
+
+	// The second submission displaces the first: capacity is a hard
+	// bound, enforced on insert.
+	subB := submitSession(t, ts, `{"runs":[{"workload":"simplemulticopy","mode":"object","sampling":2}]}`)
+	if sum := s.Summary(); sum.Resident != 1 || sum.EvictedLRU != 1 {
+		t.Fatalf("summary after overflow = %+v, want 1 resident / 1 LRU eviction", sum)
+	}
+
+	// Fetch-after-evict: the ID is recognized as issued → 410 Gone, not
+	// 404, for both the status and report endpoints.
+	for _, path := range []string{"/v1/sessions/" + subA.ID, "/v1/sessions/" + subA.ID + "/report"} {
+		status, body := httpGet(t, ts, path)
+		if status != http.StatusGone {
+			t.Errorf("GET %s: status %d, body %s", path, status, body)
+			continue
+		}
+		if e := decodeError(t, body); e.Code != "session_gone" {
+			t.Errorf("GET %s: code %q", path, e.Code)
+		}
+	}
+
+	// The survivor is untouched.
+	if st := waitDone(t, ts, subB.ID); st.State != "done" {
+		t.Fatalf("session B ended %s: %s", st.State, st.Error)
+	}
+
+	// The eviction counter surfaces in the metrics endpoint — both the
+	// store account line and the obs named counter.
+	status, body := httpGet(t, ts, "/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	text := string(body)
+	for _, want := range []string{"evictions lru 1", "serve/evict-lru", "sessions issued 2", "sessions resident 1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTTLSweepEviction(t *testing.T) {
+	clk := newFakeClock()
+	s, ts := newTestServer(t, Config{Capacity: 4, TTL: time.Minute, Now: clk.Now})
+
+	sub := submitSession(t, ts, `{"runs":[{"workload":"simplemulticopy","mode":"object"}]}`)
+	if st := waitDone(t, ts, sub.ID); st.State != "done" {
+		t.Fatalf("session ended %s: %s", st.State, st.Error)
+	}
+
+	// Inside the TTL nothing is swept.
+	clk.Advance(30 * time.Second)
+	if n := s.SweepExpired(); n != 0 {
+		t.Fatalf("sweep inside TTL retired %d sessions", n)
+	}
+
+	// Beyond it the session is retired and answers 410.
+	clk.Advance(31 * time.Second)
+	if n := s.SweepExpired(); n != 1 {
+		t.Fatalf("sweep retired %d sessions, want 1", n)
+	}
+	status, body := httpGet(t, ts, "/v1/sessions/"+sub.ID)
+	if status != http.StatusGone {
+		t.Fatalf("expired session: status %d, body %s", status, body)
+	}
+	if e := decodeError(t, body); e.Code != "session_gone" {
+		t.Fatalf("expired session: code %q", e.Code)
+	}
+
+	status, body = httpGet(t, ts, "/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	text := string(body)
+	for _, want := range []string{"evictions ttl 1", "serve/evict-ttl", "sessions resident 0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSessionIDParser(t *testing.T) {
+	valid := map[string]uint64{
+		"s-1":                    1,
+		"s-42":                   42,
+		"s-18446744073709551615": 1<<64 - 1,
+	}
+	for id, want := range valid {
+		n, ok := parseSessionID(id)
+		if !ok || n != want {
+			t.Errorf("parseSessionID(%q) = (%d, %v), want (%d, true)", id, n, ok, want)
+		}
+		if got := formatSessionID(n); got != id {
+			t.Errorf("formatSessionID(%d) = %q, want %q", n, got, id)
+		}
+	}
+	invalid := []string{
+		"", "s", "s-", "s-0", "s-01", "s-007", "1", "x-1", "s-1x", "s- 1",
+		"s--1", "s-+1", "S-1", "s-18446744073709551616", "s-99999999999999999999",
+	}
+	for _, id := range invalid {
+		if n, ok := parseSessionID(id); ok {
+			t.Errorf("parseSessionID(%q) = (%d, true), want rejection", id, n)
+		}
+	}
+}
+
+func TestSplitSessionPath(t *testing.T) {
+	cases := []struct {
+		path, id, tail string
+		ok             bool
+	}{
+		{"/v1/sessions/s-1", "s-1", "", true},
+		{"/v1/sessions/s-1/report", "s-1", "report", true},
+		{"/v1/sessions/s-1/", "s-1", "", true},
+		{"/v1/sessions/s-1/report/extra", "s-1", "report/extra", true},
+		{"/v1/sessions/", "", "", false},
+		{"/v1/sessions//report", "", "report", false},
+		{"/v1/other", "", "", false},
+		{"/", "", "", false},
+	}
+	for _, tc := range cases {
+		id, tail, ok := splitSessionPath(tc.path)
+		if id != tc.id || tail != tc.tail || ok != tc.ok {
+			t.Errorf("splitSessionPath(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.path, id, tail, ok, tc.id, tc.tail, tc.ok)
+		}
+	}
+}
