@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet fmt lint api staticadv serve-smoke bench bench-streaming cover
+.PHONY: check build test race vet fmt lint api staticadv serve-smoke bench bench-streaming bench-pipeline cover
 
 # check is the tier-1 verify gate (see ROADMAP.md): static checks, the
 # invariant linter suite, the static kernel advisor gate, the public API
@@ -82,6 +82,16 @@ bench-streaming:
 	@echo "== bench-streaming =="
 	$(GO) run ./cmd/drgpum-bench -out BENCH_streaming.json
 	@cat BENCH_streaming.json
+
+# bench-pipeline measures the pipelined intra-run mode against the
+# sequential one (per-workload end-to-end medians) and rewrites
+# BENCH_pipeline.json. The checked-in copy is the current baseline —
+# taken on the CI runner class, gomaxprocs recorded inside; CI re-runs
+# this and publishes the fresh numbers in the step summary.
+bench-pipeline:
+	@echo "== bench-pipeline =="
+	$(GO) run ./cmd/drgpum-bench -pipeline -out BENCH_pipeline.json
+	@cat BENCH_pipeline.json
 
 # cover runs the test suite with coverage of every package (not just the
 # one under test) and prints the per-function summary. cover.out is

@@ -7,7 +7,7 @@
 //
 //	drgpum -workload rodinia/huffman [-variant naive|optimized]
 //	       [-device rtx3090|a100] [-mode object|intra] [-sampling N]
-//	       [-stream] [-window N] [-heatmap]
+//	       [-stream] [-window N] [-heatmap] [-pipeline]
 //	       [-json] [-verbose] [-timeline] [-memcheck] [-stats]
 //	       [-gui liveness.json] [-html report.html] [-save profile.json]
 //	drgpum -workload polybench/2mm -diff
@@ -54,6 +54,7 @@ func main() {
 		stream   = flag.Bool("stream", false, "stream the analysis: finalize per kernel-epoch with bounded collector memory (same report, plus a temporal heat map)")
 		window   = flag.Int("window", 0, "streaming kernel-epoch length (0 = default)")
 		heatmap  = flag.Bool("heatmap", false, "draw the temporal heat map after the report (implies -stream)")
+		pipeline = flag.Bool("pipeline", false, "pipeline the run: simulate and ingest concurrently with sharded intra-object accumulation (identical report, lower wall clock)")
 	)
 	flag.Parse()
 
@@ -122,6 +123,7 @@ func main() {
 			Sampling:  *sampling,
 			Streaming: *stream,
 			Window:    *window,
+			Pipelined: *pipeline,
 			Opts:      engine.RunOpts{Memcheck: *memcheck},
 		}})
 		if rerr != nil {
@@ -130,7 +132,7 @@ func main() {
 		rep = res[0].Report
 	} else {
 		rep, err = tables.ProfileWith(w, spec, v, level, *sampling,
-			tables.ProfileOpts{Memcheck: *memcheck, Stream: *stream, Window: *window})
+			tables.ProfileOpts{Memcheck: *memcheck, Stream: *stream, Window: *window, Pipelined: *pipeline})
 		if err != nil {
 			log.Fatal(err)
 		}

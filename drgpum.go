@@ -248,6 +248,18 @@ func WithStreaming(windowKernels int) Option {
 	}
 }
 
+// WithPipelinedIngest decouples simulation from ingestion inside the run:
+// the device hands filled access batches to a dedicated consumer goroutine
+// over a bounded double-buffered channel and keeps simulating while the
+// hooks work, and — at intra-object granularity with Config.PipelineShards
+// set — per-object accumulation shards across a small worker set merged at
+// kernel-epoch boundaries. The report is byte-identical to the default
+// synchronous ingestion (the pipelined determinism tests pin this); the
+// win is single-run wall clock on idle cores.
+func WithPipelinedIngest() Option {
+	return func(c *Config) { c.PipelinedIngest = true }
+}
+
 // Attach hooks a profiler up to a device and enables instrumentation at the
 // configured level. Call it before the monitored GPU activity starts. It is
 // equivalent to New(dev, WithConfig(cfg)).

@@ -1,0 +1,218 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"drgpum/internal/core"
+	"drgpum/internal/gpu"
+	"drgpum/internal/workloads"
+)
+
+// pipelineShards is the shard-worker count the identity tests pin the
+// pipelined runs at. Two is enough to exercise real cross-shard routing
+// (objects land on different workers) without assuming test-machine
+// parallelism; TestPipelinedShardInvariance covers the other counts.
+const pipelineShards = 2
+
+// pipelineReport runs one workload variant from scratch, either through
+// the plain sequential pipeline (the identity baseline: one goroutine,
+// Config.SequentialAnalysis) or through the pipelined one (double-
+// buffered access hand-off plus sharded intra-object accumulation).
+func pipelineReport(tb testing.TB, name string, v workloads.Variant, pipelined, stream bool, shards int) *core.Report {
+	tb.Helper()
+	w, ok := workloads.ByName(name)
+	if !ok {
+		tb.Fatalf("unknown workload %s", name)
+	}
+	dev := gpu.NewDevice(gpu.SpecRTX3090())
+	cfg := core.IntraObjectConfig()
+	cfg.KernelWhitelist = w.IntraKernels
+	if pipelined {
+		cfg.PipelinedIngest = true
+		cfg.PipelineShards = shards
+	} else {
+		cfg.SequentialAnalysis = true
+	}
+	if stream {
+		cfg.Streaming = core.StreamingConfig{Enabled: true, WindowKernels: streamWindow}
+	}
+	prof := core.Attach(dev, cfg)
+	if err := w.Run(dev, prof, v); err != nil {
+		tb.Fatal(err)
+	}
+	return prof.Finish()
+}
+
+// exportBytes serializes a report through one registered exporter.
+func exportBytes(tb testing.TB, rep *core.Report, f core.Format) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := rep.Export(&buf, f); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPipelinedDeterminism pins the pipelined identity contract across the
+// whole workload suite: for every workload, both variants, offline and
+// streaming, a run whose accesses were handed to a consumer goroutine and
+// whose per-object accumulators were updated by shard workers must
+// serialize byte-identically — report JSON, verbose render, GUI export,
+// and (offline) the saved profile — to the strictly sequential pipeline.
+// The contract is the same one TestStreamingDeterminism pins for windows:
+// concurrency is an execution detail, never an output.
+func TestPipelinedDeterminism(t *testing.T) {
+	for _, name := range workloads.Names() {
+		for _, v := range []workloads.Variant{workloads.VariantNaive, workloads.VariantOptimized} {
+			for _, stream := range []bool{false, true} {
+				mode := "offline"
+				if stream {
+					mode = "streaming"
+				}
+				t.Run(fmt.Sprintf("%s/%s/%s", name, v, mode), func(t *testing.T) {
+					// One call site for both runs: allocation call paths
+					// embed source lines, so distinct call sites would
+					// differ trivially.
+					var reps [2]*core.Report
+					for i, pipelined := range []bool{false, true} {
+						reps[i] = pipelineReport(t, name, v, pipelined, stream, pipelineShards)
+					}
+					seq, piped := reps[0], reps[1]
+					seqJS, seqTxt := reportBytes(t, seq)
+					pipJS, pipTxt := reportBytes(t, piped)
+					if !bytes.Equal(seqJS, pipJS) {
+						t.Errorf("pipelined JSON differs from sequential (%d vs %d bytes)", len(pipJS), len(seqJS))
+					}
+					if !bytes.Equal(seqTxt, pipTxt) {
+						t.Errorf("pipelined render differs from sequential (%d vs %d bytes)", len(pipTxt), len(seqTxt))
+					}
+					if !bytes.Equal(exportBytes(t, seq, core.FormatGUI), exportBytes(t, piped, core.FormatGUI)) {
+						t.Error("pipelined GUI export differs from sequential")
+					}
+					if !stream {
+						if !bytes.Equal(exportBytes(t, seq, core.FormatProfile), exportBytes(t, piped, core.FormatProfile)) {
+							t.Error("pipelined saved profile differs from sequential")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPipelinedMemcheckDeterminism pins the identity contract for the
+// memcheck checker specifically: its OnAccessBatch shadow updates now run
+// on the pipeline's consumer goroutine, so the planted-bug workload —
+// whose report includes the memcheck findings section — must serialize
+// byte-identically whether the checker was fed synchronously or through
+// the hand-off.
+func TestPipelinedMemcheckDeterminism(t *testing.T) {
+	w := workloads.KnownBad()
+	run := func(pipelined bool) *core.Report {
+		dev := gpu.NewDevice(gpu.SpecRTX3090())
+		cfg := core.IntraObjectConfig()
+		cfg.KernelWhitelist = w.IntraKernels
+		cfg.Memcheck = true
+		if pipelined {
+			cfg.PipelinedIngest = true
+			cfg.PipelineShards = pipelineShards
+		} else {
+			cfg.SequentialAnalysis = true
+		}
+		prof := core.Attach(dev, cfg)
+		if err := w.Run(dev, prof, workloads.VariantNaive); err != nil {
+			t.Fatal(err)
+		}
+		return prof.Finish()
+	}
+	// One call site for both runs (call paths embed source lines).
+	var reps [2]*core.Report
+	for i, pipelined := range []bool{false, true} {
+		reps[i] = run(pipelined)
+	}
+	seq, piped := reps[0], reps[1]
+	if seq.Memcheck == nil || len(seq.Memcheck.Issues) == 0 {
+		t.Fatal("sequential knownbad run produced no memcheck findings; test is vacuous")
+	}
+	seqJS, seqTxt := reportBytes(t, seq)
+	pipJS, pipTxt := reportBytes(t, piped)
+	if !bytes.Equal(seqJS, pipJS) {
+		t.Errorf("pipelined memcheck JSON differs from sequential (%d vs %d bytes)", len(pipJS), len(seqJS))
+	}
+	if !bytes.Equal(seqTxt, pipTxt) {
+		t.Errorf("pipelined memcheck render differs from sequential (%d vs %d bytes)", len(pipTxt), len(seqTxt))
+	}
+}
+
+// TestPipelinedShardInvariance pins that the shard count is a pure
+// throughput knob: 0 shards (hand-off only, router finalizes inline), 1,
+// and 3 must all produce the bytes that 2 shards — and, transitively via
+// TestPipelinedDeterminism, the sequential pipeline — produce. This is
+// the determinism argument of DESIGN.md §4.9 made executable: per-object
+// work is order-independent across shards, global decisions stay on the
+// router, merged counters are commutative sums.
+func TestPipelinedShardInvariance(t *testing.T) {
+	const name = "simplemulticopy"
+	var base []byte
+	for _, shards := range []int{2, 0, 1, 3} {
+		rep := pipelineReport(t, name, workloads.VariantNaive, true, true, shards)
+		js, _ := reportBytes(t, rep)
+		if base == nil {
+			base = js
+			continue
+		}
+		if !bytes.Equal(base, js) {
+			t.Errorf("shards=%d report differs from shards=2 (%d vs %d bytes)", shards, len(js), len(base))
+		}
+	}
+}
+
+// TestPipelinedSnapshotThenFinish pins the pipelined form of the snapshot
+// contract: mid-run Snapshots — which force a shard merge barrier while
+// the pipeline stays attached — must leave the Finish report
+// byte-identical to an uninterrupted pipelined run, offline and
+// streaming.
+func TestPipelinedSnapshotThenFinish(t *testing.T) {
+	for _, stream := range []bool{false, true} {
+		mode := "offline"
+		if stream {
+			mode = "streaming"
+		}
+		t.Run(mode, func(t *testing.T) {
+			run := func(snapshots bool) *core.Report {
+				dev := gpu.NewDevice(gpu.SpecRTX3090())
+				cfg := trainingConfig(false, stream)
+				cfg.PipelinedIngest = true
+				cfg.PipelineShards = pipelineShards
+				prof := core.Attach(dev, cfg)
+				var onEpoch func(int)
+				if snapshots {
+					onEpoch = func(e int) {
+						if e%10 == 3 {
+							if rep := prof.Snapshot(); len(rep.Findings) == 0 {
+								t.Error("mid-run snapshot found nothing")
+							}
+						}
+					}
+				}
+				runTrainingLoop(t, dev, prof, trainingEpochs, onEpoch)
+				return prof.Finish()
+			}
+			// One call site for both runs (call paths embed source lines).
+			var reps [2]*core.Report
+			for i, snapshots := range []bool{false, true} {
+				reps[i] = run(snapshots)
+			}
+			plainJS, plainTxt := reportBytes(t, reps[0])
+			snapJS, snapTxt := reportBytes(t, reps[1])
+			if !bytes.Equal(plainJS, snapJS) {
+				t.Errorf("interleaved snapshots changed the pipelined Finish JSON (%d vs %d bytes)", len(snapJS), len(plainJS))
+			}
+			if !bytes.Equal(plainTxt, snapTxt) {
+				t.Errorf("interleaved snapshots changed the pipelined Finish render (%d vs %d bytes)", len(snapTxt), len(plainTxt))
+			}
+		})
+	}
+}

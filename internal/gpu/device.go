@@ -133,6 +133,11 @@ type Device struct {
 	kernelLaunch map[string]uint64 // per-kernel launch counts (for sampling)
 
 	batch []MemAccess
+
+	// pipe, when non-nil, routes flushed access batches to a consumer
+	// goroutine instead of running hooks inline (see pipeline.go).
+	pipe      *accessPipeline
+	pipeStats PipelineStats
 }
 
 type seqKey struct {

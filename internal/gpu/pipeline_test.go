@@ -1,0 +1,157 @@
+package gpu
+
+import (
+	"testing"
+)
+
+// eventHook records the interleaving of hook callbacks. The pipeline's
+// ordering contract makes this safe without a lock: every OnAccessBatch
+// for a kernel is delivered (on the consumer goroutine) before the drain
+// barrier that precedes that kernel's OnAPI (on the app goroutine), so
+// the appends are totally ordered by the drain's happens-before edge.
+type eventHook struct {
+	events  []string // "batch:<kernel>" and "api:<name>" in delivery order
+	batches [][]MemAccess
+}
+
+func (h *eventHook) OnAPI(rec *APIRecord) {
+	h.events = append(h.events, "api:"+rec.Name)
+}
+
+func (h *eventHook) OnAccessBatch(rec *APIRecord, batch []MemAccess) {
+	h.events = append(h.events, "batch:"+rec.Name)
+	h.batches = append(h.batches, append([]MemAccess(nil), batch...))
+}
+
+// runPipelineWorkload drives a small instrumented workload: n kernels,
+// each touching the same buffer, with a Malloc/Free pair around them.
+func runPipelineWorkload(tb testing.TB, dev *Device, n int) {
+	tb.Helper()
+	p, err := dev.Malloc(256)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		err := dev.LaunchFunc(nil, "pipek", Dim1(1), Dim1(4), func(ctx *ExecContext) {
+			for j := 0; j < 8; j++ {
+				ctx.StoreF32(p+DevicePtr(4*j), float32(j))
+				ctx.LoadF32(p + DevicePtr(4*j))
+			}
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := dev.Free(p); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestPipelineOrderingAndIdentity pins the hand-off contract: with the
+// pipeline attached, every hook still sees each kernel's OnAccessBatch
+// strictly before that kernel's OnAPI, and the delivered batches are
+// element-identical to a non-pipelined run of the same workload.
+func TestPipelineOrderingAndIdentity(t *testing.T) {
+	run := func(pipelined bool) *eventHook {
+		dev := NewDevice(SpecTest())
+		h := &eventHook{}
+		dev.AddHook(h)
+		dev.SetPatchLevel(PatchFull)
+		if pipelined {
+			dev.StartPipelinedIngest()
+			defer dev.StopPipelinedIngest()
+		}
+		runPipelineWorkload(t, dev, 5)
+		return h
+	}
+	seq, piped := run(false), run(true)
+
+	if len(piped.events) != len(seq.events) {
+		t.Fatalf("pipelined run delivered %d events, sequential %d", len(piped.events), len(seq.events))
+	}
+	for i := range piped.events {
+		if piped.events[i] != seq.events[i] {
+			t.Fatalf("event %d: pipelined %q vs sequential %q", i, piped.events[i], seq.events[i])
+		}
+	}
+	if len(piped.batches) != len(seq.batches) {
+		t.Fatalf("pipelined run delivered %d batches, sequential %d", len(piped.batches), len(seq.batches))
+	}
+	for i := range piped.batches {
+		if len(piped.batches[i]) != len(seq.batches[i]) {
+			t.Fatalf("batch %d: %d accesses pipelined vs %d sequential", i, len(piped.batches[i]), len(seq.batches[i]))
+		}
+		for j, a := range piped.batches[i] {
+			if a != seq.batches[i][j] {
+				t.Fatalf("batch %d access %d differs: %+v vs %+v", i, j, a, seq.batches[i][j])
+			}
+		}
+	}
+}
+
+// TestPipelineStatsAndLifecycle covers the observability surface and the
+// idempotence of the lifecycle calls: stats count the handed-off batches,
+// survive Stop, and double Start/Stop are no-ops.
+func TestPipelineStatsAndLifecycle(t *testing.T) {
+	dev := NewDevice(SpecTest())
+	dev.AddHook(&eventHook{})
+	dev.SetPatchLevel(PatchFull)
+	dev.StartPipelinedIngest()
+	dev.StartPipelinedIngest() // idempotent
+	runPipelineWorkload(t, dev, 7)
+	live := dev.PipelineStats()
+	if live.Batches == 0 {
+		t.Error("live stats report zero batches")
+	}
+	dev.StopPipelinedIngest()
+	dev.StopPipelinedIngest() // idempotent
+	saved := dev.PipelineStats()
+	if saved.Batches != live.Batches {
+		t.Errorf("saved stats %d batches, live reported %d", saved.Batches, live.Batches)
+	}
+	if saved.DepthHighWater < 0 || saved.DepthHighWater > pipeDepth {
+		t.Errorf("depth high-water %d outside [0, %d]", saved.DepthHighWater, pipeDepth)
+	}
+
+	// A stopped device must keep working sequentially.
+	runPipelineWorkload(t, dev, 1)
+	if got := dev.PipelineStats().Batches; got != saved.Batches {
+		t.Errorf("sequential run after Stop changed pipeline stats: %d -> %d", saved.Batches, got)
+	}
+}
+
+// TestPipelineHandoffAllocs is the steady-state allocation guard: once
+// the free-list is primed, handing a batch to the consumer and draining
+// it back must not allocate — buffers are recycled through the free
+// channel and tasks are passed by value. A regression here reintroduces
+// per-batch garbage on the hot path the pipeline exists to keep cheap.
+func TestPipelineHandoffAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	dev := NewDevice(SpecTest())
+	dev.AddHook(&noopHook{})
+	dev.SetPatchLevel(PatchFull)
+	dev.StartPipelinedIngest()
+	defer dev.StopPipelinedIngest()
+
+	rec := &APIRecord{Name: "allocs", Kind: APIKernel}
+	hand := func() {
+		dev.batch = append(dev.batch[:0], MemAccess{Addr: 64, Size: 4})
+		dev.batch = dev.pipe.send(rec, dev.batch)
+		dev.pipe.drain()
+	}
+	for i := 0; i < 32; i++ { // prime the free-list and warm the consumer
+		hand()
+	}
+	if avg := testing.AllocsPerRun(200, hand); avg != 0 {
+		t.Errorf("pipelined hand-off allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// noopHook drops everything; the allocation guard needs a consumer-side
+// callback that provably does not allocate itself.
+type noopHook struct{}
+
+func (noopHook) OnAPI(*APIRecord)                      {}
+func (noopHook) OnAccessBatch(*APIRecord, []MemAccess) {}

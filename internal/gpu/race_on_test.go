@@ -1,0 +1,7 @@
+//go:build race
+
+package gpu
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count guards skip under it (instrumentation allocates).
+const raceEnabled = true

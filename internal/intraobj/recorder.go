@@ -89,6 +89,13 @@ type objState struct {
 	// freezes a freed object (Seal): derived values are precomputed and the
 	// O(elements) buffers released.
 	sealed *sealedState
+
+	// routerActive/routerSealed are the sharded router's mirrors of
+	// curActive/sealed. The router goroutine owns them exclusively;
+	// curActive and sealed are written by the shard worker that owns this
+	// object, so the router must not read those while workers run.
+	routerActive bool
+	routerSealed bool
 }
 
 type spilledAccess struct {
@@ -138,10 +145,17 @@ type Recorder struct {
 	// kernel finalization).
 	obsRec       *obs.Recorder
 	finalizeNode *obs.Node
+	mergeNode    *obs.Node
 	spillTotal   uint64 // coalesced host-mode spill records replayed
 	wordTotal    uint64 // access-bitmap words covered by finalized windows
 	spillPub     uint64 // portion of spillTotal already published
 	wordPub      uint64 // portion of wordTotal already published
+
+	// sharded, when non-nil, routes ingestion through per-shard worker
+	// goroutines (see shard.go); shardStats preserves the hand-off totals
+	// after StopIngest tears the workers down.
+	sharded    *shardedIngest
+	shardStats IngestStats
 }
 
 var _ trace.AccessSink = (*Recorder)(nil)
@@ -166,6 +180,7 @@ func (r *Recorder) SetObs(rec *obs.Recorder) {
 	if root := rec.Root(); root != nil {
 		r.obsRec = rec
 		r.finalizeNode = root.Child("ingest").Child("finalize")
+		r.mergeNode = root.Child("ingest").Child("merge")
 	}
 }
 
@@ -231,6 +246,10 @@ func (r *Recorder) beginAccess(o *trace.Object, rec *gpu.APIRecord) *objState {
 
 // ObjectAccess implements trace.AccessSink.
 func (r *Recorder) ObjectAccess(o *trace.Object, rec *gpu.APIRecord, a gpu.MemAccess) {
+	if r.sharded != nil {
+		r.sharded.routeOne(o, rec, a)
+		return
+	}
 	st := r.beginAccess(o, rec)
 	es := uint64(o.ElemSize)
 	if es == 0 {
@@ -250,6 +269,10 @@ func (r *Recorder) ObjectAccess(o *trace.Object, rec *gpu.APIRecord, a gpu.MemAc
 // lookup, activation check and mode branch once instead of per access.
 func (r *Recorder) ObjectAccessRun(o *trace.Object, rec *gpu.APIRecord, run []gpu.MemAccess) {
 	if len(run) == 0 {
+		return
+	}
+	if r.sharded != nil {
+		r.sharded.route(o, rec, run)
 		return
 	}
 	st := r.beginAccess(o, rec)
@@ -370,53 +393,65 @@ func (r *Recorder) finalizeAPI() {
 	}
 	sp := r.finalizeNode.Start()
 	for _, st := range r.active {
-		r.spillTotal += uint64(len(st.spill))
-		for _, s := range st.spill {
-			st.update(s.lo, s.hi)
-		}
-		st.spill = st.spill[:0]
-
-		var apiTotal uint64
-		if st.curHi >= st.curLo {
-			r.wordTotal += uint64(st.curHi>>6-st.curLo>>6) + 1
-			// Prefix-sum the difference array over the touched window to
-			// recover exact per-element frequencies (holes inside the
-			// window sum to zero), folding into the cumulative map as we
-			// go.
-			var cur uint32
-			for i := st.curLo; i <= st.curHi; i++ {
-				cur += st.curDiff[i]
-				st.totalFreq[i] += cur
-				apiTotal += uint64(cur)
-			}
-
-			// Structured access: this API's slice must not overlap any
-			// element already claimed by a previous API.
-			if st.curTouched.Overlaps(st.total) {
-				st.saViolated = true
-			}
-			if !st.curTouched.Contiguous() {
-				st.saNonContig = true
-			}
-			st.apiTouches++
-			st.sliceTotals = append(st.sliceTotals, apiTotal)
-
-			st.total.Or(st.curTouched)
-
-			// Clean-on-finalize: wipe only the touched window so beginAPI
-			// needs no O(elements) zeroing.
-			clear(st.curDiff[st.curLo : st.curHi+2])
-			st.curTouched.ResetRange(st.curLo, st.curHi)
-		}
-		if apiTotal > st.hotKernelTotal {
-			st.hotKernelTotal = apiTotal
-			st.hotKernel = st.curKernel
-			st.lastAPI = st.curAPI
-		}
-		st.curActive = false
+		spills, words := st.finalizeObj()
+		r.spillTotal += spills
+		r.wordTotal += words
 	}
 	r.active = r.active[:0]
 	sp.End()
+}
+
+// finalizeObj closes out one object's per-API maps and returns the spill
+// and bitmap-word counts it consumed, so callers (the sequential
+// finalizeAPI loop and the shard workers) accumulate them locally. It
+// touches only this object's state — the property that lets distinct
+// objects finalize on distinct workers.
+func (st *objState) finalizeObj() (spills, words uint64) {
+	spills = uint64(len(st.spill))
+	for _, s := range st.spill {
+		st.update(s.lo, s.hi)
+	}
+	st.spill = st.spill[:0]
+
+	var apiTotal uint64
+	if st.curHi >= st.curLo {
+		words = uint64(st.curHi>>6-st.curLo>>6) + 1
+		// Prefix-sum the difference array over the touched window to
+		// recover exact per-element frequencies (holes inside the
+		// window sum to zero), folding into the cumulative map as we
+		// go.
+		var cur uint32
+		for i := st.curLo; i <= st.curHi; i++ {
+			cur += st.curDiff[i]
+			st.totalFreq[i] += cur
+			apiTotal += uint64(cur)
+		}
+
+		// Structured access: this API's slice must not overlap any
+		// element already claimed by a previous API.
+		if st.curTouched.Overlaps(st.total) {
+			st.saViolated = true
+		}
+		if !st.curTouched.Contiguous() {
+			st.saNonContig = true
+		}
+		st.apiTouches++
+		st.sliceTotals = append(st.sliceTotals, apiTotal)
+
+		st.total.Or(st.curTouched)
+
+		// Clean-on-finalize: wipe only the touched window so beginAPI
+		// needs no O(elements) zeroing.
+		clear(st.curDiff[st.curLo : st.curHi+2])
+		st.curTouched.ResetRange(st.curLo, st.curHi)
+	}
+	if apiTotal > st.hotKernelTotal {
+		st.hotKernelTotal = apiTotal
+		st.hotKernel = st.curKernel
+		st.lastAPI = st.curAPI
+	}
+	st.curActive = false
+	return spills, words
 }
 
 // Flush finalizes the in-flight API and publishes the accumulated counter
@@ -424,7 +459,12 @@ func (r *Recorder) finalizeAPI() {
 // double-counting on a recorder shared across runs). The profiler calls it
 // once collection ends, before detection.
 func (r *Recorder) Flush() {
-	r.finalizeAPI()
+	if r.sharded != nil {
+		r.sharded.closeAPI()
+		r.sharded.sync()
+	} else {
+		r.finalizeAPI()
+	}
 	r.haveAPI = false
 	if r.obsRec != nil {
 		r.obsRec.Add(obs.CtrSpillRecords, r.spillTotal-r.spillPub)

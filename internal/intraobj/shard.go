@@ -1,0 +1,381 @@
+package intraobj
+
+import (
+	"drgpum/internal/gpu"
+	"drgpum/internal/trace"
+)
+
+// Sharded ingestion: partition intra-object accumulation by object.
+//
+// All heavy intra-object state (bitmaps, difference arrays, frequency maps,
+// spill buffers) is already per-object, so the access stream decomposes
+// cleanly: route every element span to the worker owning its object
+// (ObjectID mod shard count) and the workers update disjoint state with no
+// locks. What cannot be distributed is the global stream order — the
+// per-kernel mode decision (device vs host maps), the active-set bookkeeping
+// and the finalize/seal scheduling — so a single router (whatever goroutine
+// calls into the Recorder: the pipelined hook consumer during kernels, the
+// application goroutine between APIs) makes every global decision in stream
+// order and turns it into per-shard tasks.
+//
+// Determinism argument (why reports are byte-identical to sequential):
+//
+//   - Each object maps to exactly one shard, and each shard's task queue is
+//     FIFO, so the tasks touching one object (begin, spans, finalize, seal)
+//     execute in exactly the order the router issued them — which is the
+//     sequential execution order restricted to that object. Intra-object
+//     state only ever depends on that restricted order.
+//   - Global decisions (mode choice, modeStats, active set, state creation
+//     order, mapBytesTotal) happen on the router in full stream order, and
+//     the allocator is quiescent while a kernel streams accesses, so
+//     chooseMode sees inputs identical to the sequential recorder's.
+//   - The only cross-object values are the spill/word counters — plain sums,
+//     accumulated worker-locally and folded in at merge barriers, so their
+//     totals are order-independent.
+//
+// Hence the result is independent of the shard count, including zero (no
+// sharding at all). Merge barriers (sync) sit at the kernel-epoch points the
+// streaming machinery already defined: every window close (Retire), every
+// Flush, and teardown. Workers execute hook-derived bodies asynchronously,
+// so runShard is bound by the hookreentry contract: nothing reached from it
+// may call Device or pool mutators.
+
+// shardChunkCap is the span capacity of one hand-off chunk. Chunks amortize
+// channel operations: one send per shardChunkCap spans on the hot path.
+const shardChunkCap = 256
+
+// shardQueueDepth bounds each worker's task queue. Deep enough that the
+// router rarely blocks on a busy worker, bounded so memory stays fixed.
+const shardQueueDepth = 256
+
+// elemSpan is one access translated to element coordinates: the router
+// resolves object and element range (the parts that need global state) and
+// the owning worker applies it to the per-object maps.
+type elemSpan struct {
+	st     *objState
+	lo, hi int
+}
+
+type shardTaskKind uint8
+
+const (
+	// taskSpans applies a chunk of element spans (update or addSpill).
+	taskSpans shardTaskKind = iota
+	// taskBegin opens the object's per-API maps (beginAPI).
+	taskBegin
+	// taskFinalize closes the object's per-API maps (finalizeObj).
+	taskFinalize
+	// taskSeal freezes a freed object (sealNow).
+	taskSeal
+	// taskBarrier acknowledges on ack once everything before it drained.
+	taskBarrier
+)
+
+type shardTask struct {
+	kind   shardTaskKind
+	st     *objState
+	spans  []elemSpan
+	host   bool
+	api    uint64
+	kernel string
+	ack    chan<- struct{}
+}
+
+// shardWorker owns the objects routed to one shard. The spill/word counters
+// are worker-local between merge barriers.
+type shardWorker struct {
+	tasks  chan shardTask
+	done   chan struct{}
+	free   chan []elemSpan
+	spills uint64
+	words  uint64
+}
+
+// runShard is the worker loop. It executes hook-derived bodies
+// asynchronously, so the hookreentry contract applies to everything
+// reachable from here: no Device or pool mutators (the analyzer matches
+// this method by name).
+func (w *shardWorker) runShard() {
+	for t := range w.tasks {
+		switch t.kind {
+		case taskSpans:
+			if t.host {
+				for _, s := range t.spans {
+					s.st.addSpill(s.lo, s.hi)
+				}
+			} else {
+				for _, s := range t.spans {
+					s.st.update(s.lo, s.hi)
+				}
+			}
+			w.free <- t.spans[:0]
+		case taskBegin:
+			t.st.beginAPI(t.api, t.kernel)
+		case taskFinalize:
+			sp, wd := t.st.finalizeObj()
+			w.spills += sp
+			w.words += wd
+		case taskSeal:
+			t.st.sealNow()
+		case taskBarrier:
+			t.ack <- struct{}{}
+		}
+	}
+	close(w.done)
+}
+
+// IngestStats describes what the sharded ingest did during a run.
+type IngestStats struct {
+	// Shards is the worker count.
+	Shards int
+	// Tasks is the number of tasks enqueued across all shards (chunks,
+	// begins, finalizes, seals, barriers) — deterministic for a given
+	// profile, unlike queue-timing measures.
+	Tasks uint64
+}
+
+// shardedIngest is the router state. It is owned by whichever single
+// goroutine calls into the Recorder (see the package comment on router role
+// migration); workers communicate with it only through channels.
+type shardedIngest struct {
+	r       *Recorder
+	workers []*shardWorker
+	// free recycles span chunks. Its capacity equals the total number of
+	// chunks ever allocated, so worker returns never block.
+	free chan []elemSpan
+	// pending is the open (unflushed) chunk per shard.
+	pending [][]elemSpan
+
+	tasks uint64
+}
+
+// StartShards routes subsequent ingestion through n worker goroutines.
+// No-op when n <= 0 or sharding is already active. Must be called before
+// collection begins (existing per-object state is not re-partitioned —
+// starting on an empty recorder is the supported shape).
+func (r *Recorder) StartShards(n int) {
+	if n <= 0 || r.sharded != nil {
+		return
+	}
+	s := &shardedIngest{
+		r:       r,
+		workers: make([]*shardWorker, n),
+		free:    make(chan []elemSpan, 4*n+4),
+		pending: make([][]elemSpan, n),
+	}
+	for i := 0; i < cap(s.free); i++ {
+		s.free <- make([]elemSpan, 0, shardChunkCap)
+	}
+	for i := range s.workers {
+		w := &shardWorker{
+			tasks: make(chan shardTask, shardQueueDepth),
+			done:  make(chan struct{}),
+			free:  s.free,
+		}
+		s.workers[i] = w
+		go w.runShard()
+	}
+	for i := range s.pending {
+		s.pending[i] = <-s.free
+	}
+	r.sharded = s
+}
+
+// StopIngest drains the shard workers, folds their counters in and tears
+// them down, returning the recorder to synchronous ingestion over the now
+// settled per-object state (which is how analysis then reads it). The
+// in-flight API is deliberately left open — exactly like the sequential
+// recorder between the last kernel and Flush.
+func (r *Recorder) StopIngest() {
+	s := r.sharded
+	if s == nil {
+		return
+	}
+	s.sync()
+	for _, w := range s.workers {
+		close(w.tasks)
+	}
+	for _, w := range s.workers {
+		<-w.done
+	}
+	r.shardStats = IngestStats{Shards: len(s.workers), Tasks: s.tasks}
+	r.sharded = nil
+	// Re-arm the sequential active-set invariant: curActive is authoritative
+	// again, and the cache entries must be re-validated against it.
+	r.stateCache = [8]*objState{}
+}
+
+// SyncIngest drains the shard workers and folds their counters into the
+// recorder — the deterministic kernel-epoch merge point the streaming
+// window manager invokes at every window close. No-op unless sharding is
+// active.
+func (r *Recorder) SyncIngest() {
+	if r.sharded != nil {
+		r.sharded.sync()
+	}
+}
+
+// IngestStats returns the sharded hand-off totals: live ones while sharding
+// is active, or the totals captured at StopIngest otherwise.
+func (r *Recorder) IngestStats() IngestStats {
+	if s := r.sharded; s != nil {
+		return IngestStats{Shards: len(s.workers), Tasks: s.tasks}
+	}
+	return r.shardStats
+}
+
+func (s *shardedIngest) shardOf(st *objState) int {
+	return int(uint64(st.obj.ID) % uint64(len(s.workers)))
+}
+
+func (s *shardedIngest) enqueue(shard int, t shardTask) {
+	s.tasks++
+	s.workers[shard].tasks <- t
+}
+
+// flushChunk hands shard's open chunk to its worker and opens a fresh one.
+func (s *shardedIngest) flushChunk(shard int) {
+	chunk := s.pending[shard]
+	if len(chunk) == 0 {
+		return
+	}
+	s.enqueue(shard, shardTask{kind: taskSpans, spans: chunk, host: s.r.curMode == MapModeHost})
+	s.pending[shard] = <-s.free
+}
+
+// flushAll pushes every open chunk out, in shard order.
+func (s *shardedIngest) flushAll() {
+	for i := range s.pending {
+		s.flushChunk(i)
+	}
+}
+
+// begin is beginAccess's sharded counterpart: the global half (API
+// transition, mode choice, state creation, activation) runs here on the
+// router; the per-object half (beginAPI) is enqueued to the owning worker.
+func (s *shardedIngest) begin(o *trace.Object, rec *gpu.APIRecord) *objState {
+	r := s.r
+	if !r.haveAPI || rec.Index != r.curAPI {
+		s.closeAPI()
+		r.curAPI = rec.Index
+		r.haveAPI = true
+		r.curMode = r.chooseMode()
+		if r.curMode == MapModeDevice {
+			r.modeStats.DeviceKernels++
+		} else {
+			r.modeStats.HostKernels++
+		}
+	}
+
+	slot := uint(o.ID) & 7
+	if st := r.stateCache[slot]; st != nil && st.obj == o && st.routerActive {
+		return st
+	}
+	st := r.states[o.ID]
+	if st == nil {
+		st = newObjState(o)
+		r.states[o.ID] = st
+		r.order = append(r.order, o.ID)
+		r.mapBytesTotal += uint64(st.elems)/8 + uint64(st.elems)*4
+	}
+	if !st.routerActive {
+		st.routerActive = true
+		r.active = append(r.active, st)
+		s.enqueue(s.shardOf(st), shardTask{kind: taskBegin, st: st, api: rec.Index, kernel: rec.Name})
+	}
+	r.stateCache[slot] = st
+	return st
+}
+
+// span appends one element span to the owning shard's open chunk.
+func (s *shardedIngest) span(st *objState, shard, lo, hi int) {
+	chunk := append(s.pending[shard], elemSpan{st: st, lo: lo, hi: hi})
+	s.pending[shard] = chunk
+	if len(chunk) == cap(chunk) {
+		s.flushChunk(shard)
+	}
+}
+
+// route translates a same-object access run to element spans on the owning
+// shard. The run slice aliases the device batch buffer, so everything kept
+// is copied out here, before returning to the hook.
+func (s *shardedIngest) route(o *trace.Object, rec *gpu.APIRecord, run []gpu.MemAccess) {
+	st := s.begin(o, rec)
+	shard := s.shardOf(st)
+	es := uint64(o.ElemSize)
+	if es == 0 {
+		es = 4
+	}
+	for i := range run {
+		off := uint64(run[i].Addr - o.Ptr)
+		s.span(st, shard, int(off/es), int((off+uint64(run[i].Size)-1)/es))
+	}
+}
+
+// routeOne is route for the single-access AccessSink path.
+func (s *shardedIngest) routeOne(o *trace.Object, rec *gpu.APIRecord, a gpu.MemAccess) {
+	st := s.begin(o, rec)
+	es := uint64(o.ElemSize)
+	if es == 0 {
+		es = 4
+	}
+	off := uint64(a.Addr - o.Ptr)
+	s.span(st, s.shardOf(st), int(off/es), int((off+uint64(a.Size)-1)/es))
+}
+
+// closeAPI is finalizeAPI's sharded counterpart: flush every outstanding
+// span (they belong to the API being closed), then schedule finalizeObj on
+// each touched object's owning worker. Queue FIFO order guarantees a
+// worker's finalize runs after all of that object's spans.
+func (s *shardedIngest) closeAPI() {
+	r := s.r
+	if !r.haveAPI {
+		return
+	}
+	sp := r.finalizeNode.Start()
+	s.flushAll()
+	for _, st := range r.active {
+		st.routerActive = false
+		s.enqueue(s.shardOf(st), shardTask{kind: taskFinalize, st: st})
+	}
+	r.active = r.active[:0]
+	sp.End()
+}
+
+// seal schedules sealNow on the owning worker, after finalizing the
+// in-flight API (same early-finalize equivalence as the sequential Seal).
+// The routerSealed mirror makes the idempotence check router-safe.
+func (s *shardedIngest) seal(id trace.ObjectID) {
+	r := s.r
+	st := r.states[id]
+	if st == nil || st.routerSealed {
+		return
+	}
+	st.routerSealed = true
+	s.closeAPI()
+	s.enqueue(s.shardOf(st), shardTask{kind: taskSeal, st: st})
+}
+
+// sync is the merge barrier: flush every open chunk, wait until all workers
+// have drained their queues, then fold the worker-local counters into the
+// recorder. After sync returns, all per-object state is settled and the
+// router goroutine may read it (the happens-before edge is the barrier
+// ack).
+func (s *shardedIngest) sync() {
+	sp := s.r.mergeNode.Start()
+	s.flushAll()
+	ack := make(chan struct{}, len(s.workers))
+	for _, w := range s.workers {
+		w.tasks <- shardTask{kind: taskBarrier, ack: ack}
+		s.tasks++
+	}
+	for range s.workers {
+		<-ack
+	}
+	for _, w := range s.workers {
+		s.r.spillTotal += w.spills
+		s.r.wordTotal += w.words
+		w.spills, w.words = 0, 0
+	}
+	sp.End()
+}

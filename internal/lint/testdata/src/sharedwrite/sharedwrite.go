@@ -205,3 +205,72 @@ func windowFanOutGood(epochs []epoch) []uint64 {
 	wg.Wait()
 	return totals
 }
+
+// shardState mimics one pipeline shard worker's private accumulator.
+type shardState struct {
+	counts map[uint64]uint64
+	spills uint64
+}
+
+// channelWorkersGood is the pipelined-ingest worker shape: each goroutine
+// receives its own state struct as a parameter and drains a task channel,
+// writing only through that parameter — silent. All cross-worker merging
+// happens after the channel closes and the WaitGroup settles.
+func channelWorkersGood(tasks chan uint64, workers int) uint64 {
+	states := make([]*shardState, workers)
+	for i := range states {
+		states[i] = &shardState{counts: make(map[uint64]uint64)}
+	}
+	var wg sync.WaitGroup
+	for i := range states {
+		wg.Add(1)
+		go func(st *shardState) {
+			defer wg.Done()
+			for obj := range tasks {
+				st.counts[obj]++
+				st.spills++
+			}
+		}(states[i])
+	}
+	wg.Wait()
+	var total uint64
+	for _, st := range states {
+		total += st.spills
+	}
+	return total
+}
+
+// channelWorkersBadMap drains the same task channel but folds into one
+// captured map shared by every worker — flagged.
+func channelWorkersBadMap(tasks chan uint64, workers int) map[uint64]uint64 {
+	counts := make(map[uint64]uint64)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for obj := range tasks {
+				counts[obj]++ // want `write into closure-captured map counts inside go func`
+			}
+		}()
+	}
+	wg.Wait()
+	return counts
+}
+
+// channelWorkersBadSlot accumulates into a shared slice indexed by the
+// task value, not a goroutine parameter — two workers draining the same
+// object id collide, flagged.
+func channelWorkersBadSlot(tasks chan int, workers int, slots []uint64) {
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for obj := range tasks {
+				slots[obj]++ // want `write into closure-captured slots inside go func with an index not passed as a parameter`
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -5,6 +5,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,7 +16,10 @@ import (
 	"testing"
 	"time"
 
+	"drgpum/internal/core"
 	"drgpum/internal/engine"
+	"drgpum/internal/gpu"
+	"drgpum/internal/workloads"
 )
 
 // stringsReader narrows strings.NewReader to what the stress goroutines
@@ -158,5 +162,85 @@ func TestConcurrentSessionsStress(t *testing.T) {
 	}
 	if r := s.Summary().Resident; r > capacity {
 		t.Fatalf("resident sessions %d exceed capacity %d after stress", r, capacity)
+	}
+}
+
+// TestConcurrentPipelinedSessionsMatchOffline is the pipelined leg of the
+// stress suite: several sessions run concurrently with pipelined ingest
+// enabled — so multiple consumer goroutines and shard-worker sets are
+// live inside one engine at once, stacked on the engine's own run
+// parallelism — and every report fetched over HTTP must still be
+// byte-identical, in every exportable format, to the plain offline
+// pipeline profiling the same workload. Meant for -race: the identity
+// check doubles as a determinism probe over genuinely interleaved
+// pipelined executions.
+func TestConcurrentPipelinedSessionsMatchOffline(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	s := New(Config{Engine: eng, Capacity: 16, TTL: time.Hour})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Drain)
+
+	// Distinct workloads per session: identical tuples would collapse
+	// into one execution via the engine cache, and the point here is
+	// concurrent pipelined runs.
+	names := []string{"simplemulticopy", "polybench/bicg", "rodinia/huffman", "polybench/2mm"}
+	ids := make([]string, len(names))
+	errs := make([]string, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"runs":[{"workload":%q,"pipelined":true}]}`, name)
+			resp, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json", stringsReader(body))
+			if err != nil {
+				errs[i] = err.Error()
+				return
+			}
+			var sub SubmitResponse
+			if err := decodeInto(resp, 201, &sub); err != nil {
+				errs[i] = err.Error()
+				return
+			}
+			st := pollDone(ts, sub.ID, 60*time.Second)
+			if st == nil {
+				errs[i] = "session " + sub.ID + " did not finish"
+				return
+			}
+			if st.State != "done" {
+				errs[i] = "session " + sub.ID + " ended " + st.State + ": " + st.Error
+				return
+			}
+			ids[i] = sub.ID
+		}(i, name)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("%s: %s", names[i], e)
+		}
+	}
+
+	for i, name := range names {
+		wl, ok := workloads.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		rep := offlineReport(t, wl, workloads.VariantNaive, gpu.PatchFull, 1)
+		for _, f := range core.Formats() {
+			var want bytes.Buffer
+			if err := rep.Export(&want, f); err != nil {
+				t.Fatalf("offline export %s %s: %v", name, f, err)
+			}
+			status, got := httpGet(t, ts, "/v1/sessions/"+ids[i]+"/report?format="+f.String())
+			if status != http.StatusOK {
+				t.Fatalf("%s report format=%s: status %d, body %.200s", name, f, status, got)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Errorf("%s format %s: pipelined HTTP bytes differ from offline export (%d vs %d bytes)",
+					name, f, len(got), want.Len())
+			}
+		}
 	}
 }

@@ -22,7 +22,21 @@ type MemoryMap struct {
 	// round-robin on search hits; invalidated on every Insert/Remove.
 	cache    [4]mapEntry
 	cacheRot uint8
+	// missStreak counts consecutive Lookups that probed the cache and
+	// missed. Cache-hostile streams — large strides hopping objects every
+	// access — pay the four compares on top of every binary search; after
+	// cacheBypassStreak consecutive misses the probe loop collapses to
+	// the single freshest slot, so the worst case degrades to (almost)
+	// plain binary search while one compare per lookup still notices the
+	// moment locality returns. Any hit resets the streak.
+	missStreak uint8
 }
+
+// cacheBypassStreak is the consecutive-miss count after which Lookup
+// stops probing the whole cache. Small enough to adapt within one run of
+// a strided kernel; any single hit resets it, so streams that cycle a
+// few operands (every probe hits) never trip it.
+const cacheBypassStreak = 8
 
 type mapEntry struct {
 	rng gpu.Range
@@ -43,6 +57,7 @@ func (m *MemoryMap) Insert(id ObjectID, rng gpu.Range) {
 	copy(m.entries[i+1:], m.entries[i:])
 	m.entries[i] = mapEntry{rng: rng, id: id}
 	m.cache = [4]mapEntry{}
+	m.missStreak = 0
 }
 
 // Remove unregisters the object whose range starts exactly at addr and
@@ -55,17 +70,34 @@ func (m *MemoryMap) Remove(addr gpu.DevicePtr) (ObjectID, bool) {
 	id := m.entries[i].id
 	m.entries = append(m.entries[:i], m.entries[i+1:]...)
 	m.cache = [4]mapEntry{}
+	m.missStreak = 0
 	return id, true
 }
 
 // Lookup returns the live object containing addr.
 func (m *MemoryMap) Lookup(addr gpu.DevicePtr) (ObjectID, bool) {
-	for i := range m.cache {
-		// A zero-size range contains nothing, so empty slots never match.
-		if m.cache[i].rng.Contains(addr) {
-			return m.cache[i].id, true
+	// Freshest slot first: the entry the last search installed. Sweep-
+	// shaped streams — runs of accesses to one object — hit here with a
+	// single compare and never touch the streak counter. A zero-size
+	// range contains nothing, so empty slots never match.
+	if f := (m.cacheRot - 1) & 3; m.cache[f].rng.Contains(addr) {
+		if m.missStreak != 0 {
+			m.missStreak = 0
 		}
+		return m.cache[f].id, true
 	}
+	if m.missStreak < cacheBypassStreak {
+		for i := range m.cache {
+			if m.cache[i].rng.Contains(addr) {
+				m.missStreak = 0
+				return m.cache[i].id, true
+			}
+		}
+		m.missStreak++
+	}
+	// Else bypassing: cache-hostile stream — the freshest compare above is
+	// the whole cache cost, so the worst case degrades to plain binary
+	// search, and the first re-hit flips the cache back on.
 	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].rng.Addr > addr })
 	if i == 0 {
 		return 0, false
