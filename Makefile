@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet fmt lint api staticadv serve-smoke bench bench-streaming bench-pipeline cover
+.PHONY: check build test race vet fmt lint api staticadv serve-smoke bench bench-streaming bench-pipeline bench-costmodel cover
 
 # check is the tier-1 verify gate (see ROADMAP.md): static checks, the
 # invariant linter suite, the static kernel advisor gate, the public API
@@ -90,8 +90,18 @@ bench-streaming:
 # this and publishes the fresh numbers in the step summary.
 bench-pipeline:
 	@echo "== bench-pipeline =="
-	$(GO) run ./cmd/drgpum-bench -pipeline -out BENCH_pipeline.json
+	$(GO) run ./cmd/drgpum-bench -pipelined -out BENCH_pipeline.json
 	@cat BENCH_pipeline.json
+
+# bench-costmodel measures what the memory-hierarchy cost model adds to an
+# end-to-end profile (cost-on vs cost-off per-workload medians, overhead
+# percentage, total modeled cycles as a determinism fingerprint) and
+# rewrites BENCH_costmodel.json. The checked-in copy is the baseline; CI
+# re-runs this and publishes the fresh numbers in the step summary.
+bench-costmodel:
+	@echo "== bench-costmodel =="
+	$(GO) run ./cmd/drgpum-bench -costmodel -out BENCH_costmodel.json
+	@cat BENCH_costmodel.json
 
 # cover runs the test suite with coverage of every package (not just the
 # one under test) and prints the per-function summary. cover.out is

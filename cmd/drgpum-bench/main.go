@@ -9,17 +9,24 @@
 // this as the bench-smoke step's artifact (BENCH_streaming.json); the
 // EXPERIMENTS.md streaming appendix records representative values.
 //
-// With -pipeline it instead measures the pipelined intra-run mode against
+// With -pipelined it instead measures the pipelined intra-run mode against
 // the sequential one: for each workload in -workloads it profiles the
 // naive variant end-to-end several times per mode and reports the median
 // wall clock (BENCH_pipeline.json, the bench-smoke step's second
 // artifact). Per-workload speedups only materialize when GOMAXPROCS > 1;
 // the emitted gomaxprocs field records what the numbers mean.
 //
+// With -costmodel it measures what the memory-hierarchy cost model adds to
+// an end-to-end profile: for each workload it runs the naive variant with
+// the model enabled (the default) and disabled, and reports the median
+// wall clocks plus the relative overhead (BENCH_costmodel.json, the
+// bench-smoke step's third artifact).
+//
 // Usage:
 //
 //	drgpum-bench [-out BENCH_streaming.json] [-epochs N] [-window N]
-//	drgpum-bench -pipeline [-out BENCH_pipeline.json] [-runs N] [-workloads a,b,...]
+//	drgpum-bench -pipelined [-out BENCH_pipeline.json] [-runs N] [-workloads a,b,...]
+//	drgpum-bench -costmodel [-out BENCH_costmodel.json] [-runs N] [-workloads a,b,...]
 package main
 
 import (
@@ -69,20 +76,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drgpum-bench: ")
 	var (
-		out      = flag.String("out", "", "output JSON path (- for stdout; default BENCH_streaming.json or, with -pipeline, BENCH_pipeline.json)")
-		epochs   = flag.Int("epochs", 64, "training-loop epochs (one kernel each)")
-		window   = flag.Int("window", 8, "streaming kernel-epoch length")
-		pipeline = flag.Bool("pipeline", false, "benchmark pipelined vs sequential end-to-end profiling instead of streaming")
-		runs     = flag.Int("runs", 5, "with -pipeline: runs per workload per mode (the median is reported)")
-		names    = flag.String("workloads", "minimdock,polybench/2mm,rodinia/huffman,simplemulticopy", "with -pipeline: comma-separated workloads")
+		out         = flag.String("out", "", "output JSON path (- for stdout; default BENCH_streaming.json, BENCH_pipeline.json with -pipelined, or BENCH_costmodel.json with -costmodel)")
+		epochs      = flag.Int("epochs", 64, "training-loop epochs (one kernel each)")
+		window      = flag.Int("window", 8, "streaming kernel-epoch length")
+		pipelined   = flag.Bool("pipelined", false, "benchmark pipelined vs sequential end-to-end profiling instead of streaming")
+		pipelineOld = flag.Bool("pipeline", false, "deprecated alias for -pipelined")
+		costmodel   = flag.Bool("costmodel", false, "benchmark cost-model-on vs cost-model-off end-to-end profiling instead of streaming")
+		runs        = flag.Int("runs", 5, "with -pipelined or -costmodel: runs per workload per mode (the median is reported)")
+		names       = flag.String("workloads", "minimdock,polybench/2mm,rodinia/huffman,simplemulticopy", "with -pipelined or -costmodel: comma-separated workloads")
 	)
 	flag.Parse()
+	if *pipelineOld {
+		fmt.Fprintln(os.Stderr, "drgpum-bench: -pipeline is deprecated, use -pipelined")
+		*pipelined = true
+	}
 
-	if *pipeline {
+	if *pipelined {
 		if *out == "" {
 			*out = "BENCH_pipeline.json"
 		}
 		writeJSON(*out, benchPipeline(strings.Split(*names, ","), *runs))
+		return
+	}
+	if *costmodel {
+		if *out == "" {
+			*out = "BENCH_costmodel.json"
+		}
+		writeJSON(*out, benchCostModel(strings.Split(*names, ","), *runs))
 		return
 	}
 	if *out == "" {
@@ -202,6 +222,80 @@ func medianRun(w *workloads.Workload, pipelined bool, shards, runs int) int64 {
 	}
 	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
 	return walls[len(walls)/2]
+}
+
+// CostModelResult is the JSON document the -costmodel mode emits.
+type CostModelResult struct {
+	// GOMAXPROCS and Runs record the measurement conditions as in
+	// PipelineResult.
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Runs       int                 `json:"runs"`
+	Workloads  []WorkloadCostModel `json:"workloads"`
+}
+
+// WorkloadCostModel is one workload's cost-on vs cost-off medians.
+type WorkloadCostModel struct {
+	Name string `json:"name"`
+	// CostOffNs and CostOnNs are median end-to-end wall times (attach
+	// through Finish) with the cost model disabled and enabled.
+	CostOffNs int64 `json:"cost_off_ns"`
+	CostOnNs  int64 `json:"cost_on_ns"`
+	// OverheadPct is (CostOnNs - CostOffNs) / CostOffNs * 100 — what the
+	// transaction/cache/TLB accounting adds to the profile. Negative values
+	// mean the difference drowned in run-to-run noise.
+	OverheadPct float64 `json:"overhead_pct"`
+	// ModeledCycles is the cost-on run's total modeled memory cycles across
+	// all objects — a determinism fingerprint for the baseline (the same
+	// toolchain must reproduce it exactly).
+	ModeledCycles uint64 `json:"modeled_cycles"`
+}
+
+// benchCostModel measures each workload end-to-end with the cost model
+// enabled (the default configuration) and disabled.
+func benchCostModel(names []string, runs int) CostModelResult {
+	res := CostModelResult{GOMAXPROCS: runtime.GOMAXPROCS(0), Runs: runs}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		w, ok := workloads.Lookup(name)
+		if !ok {
+			log.Fatalf("unknown workload %q", name)
+		}
+		wc := WorkloadCostModel{Name: name}
+		wc.CostOffNs, _ = medianCostRun(w, false, runs)
+		wc.CostOnNs, wc.ModeledCycles = medianCostRun(w, true, runs)
+		if wc.CostOffNs > 0 {
+			wc.OverheadPct = float64(wc.CostOnNs-wc.CostOffNs) / float64(wc.CostOffNs) * 100
+		}
+		res.Workloads = append(res.Workloads, wc)
+	}
+	return res
+}
+
+// medianCostRun is medianRun with the cost model toggled instead of the
+// ingest pipeline. It also returns the final run's total modeled cycles
+// (zero with the model off).
+func medianCostRun(w *workloads.Workload, costOn bool, runs int) (int64, uint64) {
+	walls := make([]int64, 0, runs)
+	var cycles uint64
+	for i := 0; i < runs; i++ {
+		dev := gpu.NewDevice(gpu.SpecRTX3090())
+		cfg := core.IntraObjectConfig()
+		cfg.KernelWhitelist = w.IntraKernels
+		cfg.CostModel.Disabled = !costOn
+		start := time.Now()
+		prof := core.Attach(dev, cfg)
+		if err := w.Run(dev, prof, workloads.VariantNaive); err != nil {
+			log.Fatalf("%s: %v", w.Name, err)
+		}
+		rep := prof.Finish()
+		walls = append(walls, time.Since(start).Nanoseconds())
+		cycles = 0
+		for _, o := range rep.Trace.Objects {
+			cycles += o.Cost.ModeledCycles
+		}
+	}
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	return walls[len(walls)/2], cycles
 }
 
 // measure runs the training loop under one pipeline and returns ingest

@@ -11,8 +11,10 @@
 //
 //	drgpum-lint [-only mapiter,simerr] [-json] [-list] [packages...]
 //
-// With -json every diagnostic is one JSON object per line with file,
-// line, col, analyzer and message fields, for editors and CI annotators.
+// With -json every diagnostic is one JSON object per line with severity,
+// file, line, col, analyzer and message fields — the shared schema of the
+// toolchain (README "Unified finding schema") — for editors and CI
+// annotators.
 //
 // Exit status is 0 when the tree is clean, 1 when violations are reported,
 // and 2 when packages fail to load. `make lint` (part of `make check`)
@@ -68,7 +70,11 @@ func main() {
 	diags := lint.Run(pkgs, analyzers)
 	for _, d := range diags {
 		if *jsonOut {
+			// Invariant violations are always "error" on the shared
+			// severity scale: each analyzer proves a determinism or
+			// discipline rule was broken, never an advisory hint.
 			enc, _ := json.Marshal(map[string]any{
+				"severity": "error",
 				"file":     d.Position.Filename,
 				"line":     d.Position.Line,
 				"col":      d.Position.Column,

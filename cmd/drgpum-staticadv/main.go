@@ -166,6 +166,8 @@ func printFinding(f staticadv.Finding, jsonOut bool) {
 		return
 	}
 	enc, _ := json.Marshal(map[string]any{
+		"id":       f.Pattern.ID(),
+		"severity": f.Severity().String(),
 		"file":     f.Pos.Filename,
 		"line":     f.Pos.Line,
 		"col":      f.Pos.Column,
@@ -195,6 +197,8 @@ func printWorkloads(pkg *lint.Package, keep map[string]bool, jsonOut bool) int {
 			for _, f := range kept {
 				if jsonOut {
 					enc, _ := json.Marshal(map[string]any{
+						"id":       f.Pattern.ID(),
+						"severity": f.Severity().String(),
 						"workload": wf.Workload,
 						"variant":  wf.Variant.String(),
 						"file":     f.Pos.Filename,
@@ -249,12 +253,14 @@ func runXVal(gate, jsonOut bool) error {
 	if jsonOut {
 		for _, row := range rep.Rows {
 			enc, _ := json.Marshal(map[string]any{
-				"program":      row.Program,
-				"variant":      row.Variant.String(),
-				"confirmed":    abbrevs(row.Confirmed),
-				"dynamic_only": abbrevs(row.DynamicOnly),
-				"static_only":  abbrevs(row.StaticOnly),
-				"findings":     row.StaticFindings,
+				"program":        row.Program,
+				"variant":        row.Variant.String(),
+				"confirmed":      abbrevs(row.Confirmed),
+				"dynamic_only":   abbrevs(row.DynamicOnly),
+				"static_only":    abbrevs(row.StaticOnly),
+				"findings":       row.StaticFindings,
+				"uc_confirmed":   row.UCConfirmed,
+				"uc_unexplained": row.UCUnexplained,
 			})
 			fmt.Println(string(enc))
 		}

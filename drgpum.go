@@ -12,6 +12,16 @@
 // emits ranked findings with call paths, inefficiency distances, and
 // actionable optimization suggestions.
 //
+// A deterministic memory-hierarchy cost model (on by default; see
+// WithCostModel, WithoutCostModel and DESIGN.md §4.10) additionally prices
+// every finding in modeled cycles: per-warp accesses are coalesced into
+// memory transactions and played through set-associative L1/L2 caches and
+// a TLB-reach check, findings gain ModeledCycles/CyclesSaved, the advice
+// ranking orders by cycles saved, and an eleventh pattern —
+// uncoalesced-access — flags kernels whose transaction count far exceeds
+// the coalesced ideal. Report.Advice flattens the findings into one
+// uniformly-shaped, ranked []Advice slice for programmatic consumers.
+//
 // Minimal usage:
 //
 //	dev := gpusim.NewDevice(gpusim.SpecRTX3090())
@@ -49,6 +59,7 @@ import (
 	"io"
 
 	"drgpum/internal/core"
+	"drgpum/internal/costmodel"
 	"drgpum/internal/gpu"
 	_ "drgpum/internal/gui" // registers the GUI and HTML exporters
 	"drgpum/internal/intraobj"
@@ -72,10 +83,12 @@ type Report = core.Report
 // Finding is one detected inefficiency instance.
 type Finding = pattern.Finding
 
-// Pattern enumerates the ten inefficiency patterns of the paper's §3.
+// Pattern enumerates the inefficiency patterns: the ten of the paper's §3
+// plus the repo's uncoalesced-access extension (DESIGN.md §4.10).
 type Pattern = pattern.Pattern
 
-// The ten inefficiency patterns, in the paper's Table 1 order.
+// The inefficiency patterns, in the paper's Table 1 order, followed by the
+// repo extensions.
 const (
 	EarlyAllocation           = pattern.EarlyAllocation
 	LateDeallocation          = pattern.LateDeallocation
@@ -87,10 +100,52 @@ const (
 	Overallocation            = pattern.Overallocation
 	NonUniformAccessFrequency = pattern.NonUniformAccessFrequency
 	StructuredAccess          = pattern.StructuredAccess
+	// UncoalescedAccess is the cost model's traffic pattern: a kernel whose
+	// per-warp memory transactions far exceed the coalesced ideal. A repo
+	// extension beyond the paper's ten (DESIGN.md §4.10).
+	UncoalescedAccess = pattern.UncoalescedAccess
 )
 
-// AllPatterns returns every pattern in table order.
+// NumPaperPatterns counts the patterns of the paper's §3; AllPatterns()
+// lists these first, then the repo extensions.
+const NumPaperPatterns = pattern.NumPaperPatterns
+
+// AllPatterns returns every pattern in table order (paper patterns first).
 func AllPatterns() []Pattern { return pattern.All() }
+
+// ParsePatternID resolves a stable kebab-case pattern identifier (e.g.
+// "uncoalesced-access") as used in the unified JSON schemas of the CLI
+// tools. The boolean reports whether the ID is known.
+func ParsePatternID(id string) (Pattern, bool) { return pattern.ParseID(id) }
+
+// SeverityClass buckets findings for the unified JSON schema: info,
+// warning, error.
+type SeverityClass = pattern.SeverityClass
+
+// The severity classes shared by all finding-producing tools.
+const (
+	SeverityInfo    = pattern.SeverityInfo
+	SeverityWarning = pattern.SeverityWarning
+	SeverityError   = pattern.SeverityError
+)
+
+// Advice is one entry of the unified, ranked advice list derived from a
+// report's findings: pattern identity, the object and kernel involved, the
+// modeled byte and cycle savings, a severity class and a confidence score,
+// and the concrete source-change suggestion. See core.Advice and
+// Report.Advice.
+type Advice = core.Advice
+
+// CostModelSpec parameterizes the deterministic memory-hierarchy cost
+// model (DESIGN.md §4.10): warp-coalescing geometry, L1/L2 cache shapes,
+// TLB reach and latencies. See costmodel.Spec; the zero value derives a
+// device-appropriate spec at attach time.
+type CostModelSpec = costmodel.Spec
+
+// CostModelConfig carries the cost model's configuration (Config.CostModel):
+// an optional explicit Spec and the uncoalesced-access detector thresholds.
+// See core.CostModelConfig.
+type CostModelConfig = core.CostModelConfig
 
 // ObjLevelThresholds holds the object-level detector thresholds
 // (Config.ObjLevel). See objlevel.Config.
@@ -246,6 +301,25 @@ func WithStreaming(windowKernels int) Option {
 	return func(c *Config) {
 		c.Streaming = StreamingConfig{Enabled: true, WindowKernels: windowKernels}
 	}
+}
+
+// WithCostModel enables the memory-hierarchy cost model with an explicit
+// spec (the zero CostModelSpec derives one from the device at attach
+// time). The model is on by default; this option exists to override the
+// derived parameters. Every finding then carries modeled cycles, advice is
+// ranked by cycles saved, and the uncoalesced-access detector runs.
+func WithCostModel(spec CostModelSpec) Option {
+	return func(c *Config) {
+		c.CostModel.Disabled = false
+		c.CostModel.Spec = spec
+	}
+}
+
+// WithoutCostModel disables the memory-hierarchy cost model: no per-access
+// cost tracking, no uncoalesced-access detection, and findings fall back
+// to the byte-ranked severity ordering of earlier releases.
+func WithoutCostModel() Option {
+	return func(c *Config) { c.CostModel.Disabled = true }
 }
 
 // WithPipelinedIngest decouples simulation from ingestion inside the run:

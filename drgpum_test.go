@@ -108,11 +108,97 @@ func TestPublicAPIPool(t *testing.T) {
 
 func TestAllPatternsExported(t *testing.T) {
 	all := drgpum.AllPatterns()
-	if len(all) != 10 {
+	if len(all) != 11 {
 		t.Fatalf("AllPatterns = %d", len(all))
 	}
 	if all[0] != drgpum.EarlyAllocation || all[9] != drgpum.StructuredAccess {
 		t.Errorf("pattern order: %v", all)
+	}
+	if drgpum.NumPaperPatterns != 10 || all[10] != drgpum.UncoalescedAccess {
+		t.Errorf("repo extensions must follow the paper's ten: %v", all)
+	}
+	if p, ok := drgpum.ParsePatternID("uncoalesced-access"); !ok || p != drgpum.UncoalescedAccess {
+		t.Errorf("ParsePatternID(uncoalesced-access) = %v, %v", p, ok)
+	}
+	if drgpum.SeverityError.String() != "error" {
+		t.Errorf("SeverityError = %q", drgpum.SeverityError)
+	}
+}
+
+// TestCostModelAdviceAPI drives the redesigned Advice API end to end
+// through the facade: an uncoalesced kernel must surface as a ranked
+// Advice entry carrying cycles, and WithoutCostModel must suppress both
+// the pattern and the cycle figures.
+func TestCostModelAdviceAPI(t *testing.T) {
+	run := func(opts ...drgpum.Option) *drgpum.Report {
+		dev := gpusim.NewDevice(gpusim.SpecRTX3090())
+		prof := drgpum.New(dev, opts...)
+		buf, err := dev.Malloc(64 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof.Annotate(buf, "strided", 4)
+		if err := dev.LaunchFunc(nil, "scatter", gpusim.Dim1(4), gpusim.Dim1(256),
+			func(ctx *gpusim.ExecContext) {
+				for i := 0; i < 1024; i++ {
+					ctx.StoreU32(buf+gpusim.DevicePtr((i*61%1024)*16), uint32(i))
+				}
+			}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dev.Free(buf); err != nil {
+			t.Fatal(err)
+		}
+		return prof.Finish()
+	}
+
+	rep := run()
+	if !rep.HasPattern(drgpum.UncoalescedAccess) {
+		t.Fatalf("strided kernel not flagged: %v", rep.PatternSet())
+	}
+	advice := rep.Advice()
+	if len(advice) == 0 {
+		t.Fatal("no advice")
+	}
+	var uc *drgpum.Advice
+	for i := range advice {
+		if advice[i].PatternID == "uncoalesced-access" {
+			uc = &advice[i]
+		}
+	}
+	if uc == nil {
+		t.Fatalf("uncoalesced-access missing from advice: %+v", advice)
+	}
+	if uc.CyclesSaved == 0 || uc.ModeledCycles == 0 {
+		t.Errorf("advice carries no cycles: %+v", *uc)
+	}
+	if uc.Object != "strided" || uc.Kernel != "scatter" {
+		t.Errorf("advice misattributed: %+v", *uc)
+	}
+	if uc.Confidence <= 0 || uc.Confidence > 1 {
+		t.Errorf("confidence out of range: %v", uc.Confidence)
+	}
+	for i := 1; i < len(advice); i++ {
+		if advice[i-1].CyclesSaved < advice[i].CyclesSaved &&
+			advice[i-1].Severity == advice[i].Severity {
+			t.Errorf("advice not ranked by cycles within severity: %+v", advice)
+		}
+	}
+
+	off := run(drgpum.WithoutCostModel())
+	if off.HasPattern(drgpum.UncoalescedAccess) {
+		t.Error("WithoutCostModel still detects uncoalesced access")
+	}
+	for _, a := range off.Advice() {
+		if a.CyclesSaved != 0 || a.ModeledCycles != 0 {
+			t.Errorf("WithoutCostModel advice carries cycles: %+v", a)
+		}
+	}
+
+	spec := drgpum.CostModelSpec{}
+	custom := run(drgpum.WithCostModel(spec))
+	if !custom.HasPattern(drgpum.UncoalescedAccess) {
+		t.Error("WithCostModel(zero spec) should derive a device spec and detect UC")
 	}
 }
 

@@ -44,10 +44,12 @@ func (r *Report) RenderHeatMap(w io.Writer) {
 	// Rank objects by total touches across the rendered epochs (desc, then
 	// ID asc) and find the scaling maximum.
 	totals := make(map[trace.ObjectID]uint64)
+	excess := make(map[trace.ObjectID]uint64)
 	var maxCell uint64
 	for e := 0; e < cols; e++ {
 		for _, c := range h.Epochs[e].Cells {
 			totals[c.Object] += c.Touches
+			excess[c.Object] += c.ExcessTransactions
 			if c.Touches > maxCell {
 				maxCell = c.Touches
 			}
@@ -92,8 +94,13 @@ func (r *Report) RenderHeatMap(w io.Writer) {
 				}
 			}
 		}
-		fmt.Fprintf(w, "%-*s  %s  (%d touches)\n",
-			nameWidth, r.Trace.Object(id).DisplayName(), string(row), totals[id])
+		if ex := excess[id]; ex > 0 {
+			fmt.Fprintf(w, "%-*s  %s  (%d touches, %d excess txn)\n",
+				nameWidth, r.Trace.Object(id).DisplayName(), string(row), totals[id], ex)
+		} else {
+			fmt.Fprintf(w, "%-*s  %s  (%d touches)\n",
+				nameWidth, r.Trace.Object(id).DisplayName(), string(row), totals[id])
+		}
 	}
 	fmt.Fprintf(w, "%-*s  intensity: '%s' (low..high)\n", nameWidth, "", heatRamp[1:])
 	if colsClipped {

@@ -84,6 +84,6 @@ func analyzeLoaded(t *trace.Trace, meta profile.Meta, cfg Config) *Report {
 		Findings: findings,
 		MemStats: gpu.AllocStats{Peak: meta.PeakBytes},
 		Elapsed:  meta.Cycles,
-		Advice:   advisor.Advise(t, findings),
+		WhatIf:   advisor.Advise(t, findings),
 	}
 }

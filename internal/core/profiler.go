@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"drgpum/internal/advisor"
+	"drgpum/internal/costmodel"
 	"drgpum/internal/depgraph"
 	"drgpum/internal/gpu"
 	"drgpum/internal/intraobj"
@@ -85,7 +86,42 @@ type Config struct {
 	// engine derives this from its run-level worker budget so -j does not
 	// oversubscribe. Reports are byte-identical for any value.
 	PipelineShards int
+	// CostModel configures the memory-hierarchy cost model (DESIGN.md
+	// §4.10). The model is on by default: kernels account per-warp
+	// transactions against a modeled L1/L2/DRAM hierarchy, every finding
+	// carries a ModeledCycles/CyclesSaved estimate, severity ranks by
+	// cycles saved, and the uncoalesced-access detector runs.
+	CostModel CostModelConfig
 }
+
+// CostModelConfig carries the cost-model knobs (Config.CostModel).
+type CostModelConfig struct {
+	// Disabled turns the model off: findings carry no cycle estimates,
+	// severity falls back to the byte-based formula, and no
+	// uncoalesced-access detection runs.
+	Disabled bool
+	// Spec overrides the model parameters. The zero Spec (SectorBytes ==
+	// 0) derives parameters from the attached device (costmodel.SpecFor).
+	Spec costmodel.Spec
+	// MinWarps is the minimum modeled warp count before the
+	// uncoalesced-access detector reports an object; tiny kernels produce
+	// unstable transaction ratios. <= 0 selects DefaultUCMinWarps.
+	MinWarps int
+	// ExcessRatio is the transactions-to-ideal ratio at which an object's
+	// kernel traffic counts as uncoalesced. <= 0 selects
+	// DefaultUCExcessRatio.
+	ExcessRatio float64
+}
+
+// DefaultUCMinWarps and DefaultUCExcessRatio are the uncoalesced-access
+// detector defaults: at least 4 full warps of evidence, and at least twice
+// the coalesced-ideal transaction count. The ratio is a property of the
+// access pattern's geometry, not of any cache size, so detection is stable
+// across device specs (the Table 1 device-stability test relies on this).
+const (
+	DefaultUCMinWarps    = 4
+	DefaultUCExcessRatio = 2.0
+)
 
 // DefaultConfig returns the paper's experimental settings at object-level
 // granularity.
@@ -166,6 +202,11 @@ func Attach(dev *gpu.Device, cfg Config) *Profiler {
 		dev.SetInstrumentFilter(p.instrumentFilter())
 	}
 
+	if cfg.CostModel.Disabled {
+		dev.DisableCostModel()
+	} else {
+		dev.SetCostModel(cfg.CostModel.Spec)
+	}
 	dev.SetObjectIDMode(cfg.ObjectIDMode)
 	// The hit-flag object table must come from the profiler's memory map M,
 	// not the raw allocator, so pool tensors (paper §5.4) resolve correctly.
@@ -331,8 +372,10 @@ func (p *Profiler) analyze() *Report {
 		staged(an, "depgraph", func() { g = depgraph.Annotate(t) })
 	}
 
+	costSpec, costOn := p.dev.CostModelSpec()
+
 	var pk *peak.Analysis
-	var objFindings, intraFindings []pattern.Finding
+	var objFindings, intraFindings, costFindings []pattern.Finding
 	var modeStats intraobj.ModeStats
 	p.runStages(
 		func() {
@@ -361,8 +404,16 @@ func (p *Profiler) analyze() *Report {
 				})
 			}
 		},
+		func() {
+			if costOn {
+				staged(an, "costmodel", func() {
+					costFindings = detectUncoalesced(t, costSpec, p.cfg.CostModel)
+				})
+			}
+		},
 	)
 	findings := append(objFindings, intraFindings...)
+	findings = append(findings, costFindings...)
 
 	var marginal []uint64
 	var advice advisor.Estimate
@@ -384,7 +435,12 @@ func (p *Profiler) analyze() *Report {
 		f.OnPeak = pk.OnPeak(f.Object)
 		f.PeakSavingsBytes = marginal[i]
 		f.Suggestion = pattern.Suggest(t, f)
-		f.Severity = severity(f)
+		if costOn {
+			attachCycles(t, costSpec, f)
+			f.Severity = severityCycles(f)
+		} else {
+			f.Severity = severity(f)
+		}
 	}
 	sort.SliceStable(findings, func(i, j int) bool {
 		if findings[i].Severity != findings[j].Severity {
@@ -412,8 +468,11 @@ func (p *Profiler) analyze() *Report {
 		Elapsed:   p.dev.Elapsed(),
 		ModeStats: modeStats,
 		Recorder:  p.recorder,
-		Advice:    advice,
+		WhatIf:    advice,
 		Memcheck:  mc,
+	}
+	if costOn {
+		rep.CostModel = &costSpec
 	}
 	if p.window != nil {
 		rep.Heat = p.window.Heat()

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"drgpum/internal/advisor"
+	"drgpum/internal/costmodel"
 	"drgpum/internal/depgraph"
 	"drgpum/internal/gpu"
 	"drgpum/internal/intraobj"
@@ -40,9 +41,15 @@ type Report struct {
 	ModeStats intraobj.ModeStats
 	// Recorder gives access to intra-object histograms (nil at PatchAPI).
 	Recorder *intraobj.Recorder
-	// Advice is the what-if estimate: the data-object peak the program
-	// would have if every suggestion in Findings were applied.
-	Advice advisor.Estimate
+	// WhatIf is the aggregate what-if estimate: the data-object peak the
+	// program would have if every suggestion in Findings were applied.
+	// (Per-finding ranked advice lives behind the Advice method.)
+	WhatIf advisor.Estimate
+	// CostModel is the memory-hierarchy cost model spec the run used, or
+	// nil when the model was disabled (Config.CostModel.Disabled). When
+	// set, findings carry ModeledCycles/CyclesSaved and severity ranks by
+	// cycles saved.
+	CostModel *costmodel.Spec
 	// Memcheck is the memory-safety report (nil unless Config.Memcheck).
 	Memcheck *memcheck.Report
 	// Obs is the self-observability snapshot taken when the report was
@@ -112,6 +119,76 @@ func (r *Report) PatternsForObject(label string) []pattern.Pattern {
 	return out
 }
 
+// Advice is one ranked, self-contained optimization recommendation — the
+// unified shape every finding vocabulary (profiler findings, static-advisor
+// findings, memcheck issues) maps into for machine consumption. Pattern IDs
+// and severity strings are shared across the whole toolchain (drgpum -json,
+// drgpum-staticadv -json, drgpum-lint).
+type Advice struct {
+	// PatternID is the stable kebab-case pattern identifier
+	// (pattern.Pattern.ID, e.g. "uncoalesced-access").
+	PatternID string
+	// Pattern is the human-readable pattern name.
+	Pattern string
+	// Object is the affected data object's display name.
+	Object string
+	// AllocSite is the leaf frame of the object's allocation call path
+	// (empty when unresolvable).
+	AllocSite string
+	// Kernel names the kernel evidencing an intra-object or cost-model
+	// pattern (empty for lifetime patterns).
+	Kernel string
+	// BytesSaved is the byte benefit of acting on the advice: the marginal
+	// peak reduction when the object shapes a peak, else the wasted bytes.
+	BytesSaved uint64
+	// ModeledCycles is the cost model's estimate of what the object's
+	// kernel traffic costs today (0 when the model is disabled).
+	ModeledCycles uint64
+	// CyclesSaved is the cost model's estimate of cycles recovered by the
+	// fix (0 when the model is disabled); advice is ranked by it.
+	CyclesSaved uint64
+	// Severity buckets the advice into the shared info/warning/error scale.
+	Severity pattern.SeverityClass
+	// Confidence in (0, 1]: how certain the profiler is that the fix
+	// helps, by pattern class (trace-exact lifetime facts rank above
+	// sampled intra-object and modeled cost estimates).
+	Confidence float64
+	// Suggestion is the human-facing guidance text.
+	Suggestion string
+}
+
+// Advice returns every finding as a ranked recommendation, most valuable
+// first (the findings' severity order). This is the first-class advice
+// surface; the rendered report and the JSON export are views over the same
+// data.
+func (r *Report) Advice() []Advice {
+	out := make([]Advice, 0, len(r.Findings))
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		o := r.Trace.Object(f.Object)
+		a := Advice{
+			PatternID:     f.Pattern.ID(),
+			Pattern:       f.Pattern.String(),
+			Object:        o.DisplayName(),
+			Kernel:        f.AtKernel,
+			BytesSaved:    f.WastedBytes,
+			ModeledCycles: f.ModeledCycles,
+			CyclesSaved:   f.CyclesSaved,
+			Severity:      classify(f),
+			Confidence:    confidence(f.Pattern),
+			Suggestion:    f.Suggestion,
+		}
+		if f.PeakSavingsBytes > 0 {
+			a.BytesSaved = f.PeakSavingsBytes
+		}
+		if leaf, ok := r.Trace.Unwinder.Leaf(o.AllocPath); ok {
+			a.AllocSite = leaf.String()
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
 // Render writes a human-readable report. With verbose set, call paths and
 // per-finding suggestions are included (the GUI detail-pane content).
 func (r *Report) Render(w io.Writer, verbose bool) {
@@ -146,9 +223,16 @@ func (r *Report) Render(w io.Writer, verbose bool) {
 		}
 	}
 
-	if r.Advice.EstimatedPeak < r.Advice.OriginalPeak {
+	if r.WhatIf.EstimatedPeak < r.WhatIf.OriginalPeak {
 		fmt.Fprintf(w, "  applying all suggestions would cut the data-object peak from %d to %d bytes (-%.0f%%)\n",
-			r.Advice.OriginalPeak, r.Advice.EstimatedPeak, r.Advice.ReductionPct)
+			r.WhatIf.OriginalPeak, r.WhatIf.EstimatedPeak, r.WhatIf.ReductionPct)
+	}
+	if r.CostModel != nil {
+		var saved uint64
+		for i := range r.Findings {
+			saved += r.Findings[i].CyclesSaved
+		}
+		fmt.Fprintf(w, "  cost model: advice ranked by modeled cycles; fixes recover an estimated %d cycle(s)\n", saved)
 	}
 	fmt.Fprintf(w, "  findings: %d\n", len(r.Findings))
 	for i := range r.Findings {
@@ -172,6 +256,15 @@ func (r *Report) Render(w io.Writer, verbose bool) {
 		if f.Pattern == pattern.NonUniformAccessFrequency {
 			fmt.Fprintf(w, "      access-frequency variation: %.3g%% at kernel %s\n",
 				f.VariationPct, f.AtKernel)
+		}
+		if f.Pattern == pattern.UncoalescedAccess {
+			c := r.Trace.Object(f.Object).Cost
+			fmt.Fprintf(w, "      memory transactions: %d (coalesced ideal %d) at kernel %s\n",
+				c.Transactions, c.IdealTransactions, f.AtKernel)
+		}
+		if f.CyclesSaved > 0 {
+			fmt.Fprintf(w, "      modeled traffic cost: %d cycle(s); fixing saves ~%d cycle(s)\n",
+				f.ModeledCycles, f.CyclesSaved)
 		}
 		fmt.Fprintf(w, "      suggestion: %s\n", wrap(f.Suggestion, 72, "                  "))
 		if verbose {
@@ -229,8 +322,13 @@ func indent(s, prefix string) string {
 	return strings.Join(lines, "\n")
 }
 
-// jsonFinding is the serialized form of a finding.
+// jsonFinding is the serialized form of a finding. The "id" and "severity"
+// keys are the unified vocabulary every tool's -json output shares
+// (drgpum, drgpum-staticadv, drgpum-lint): kebab-case pattern IDs and the
+// info/warning/error scale.
 type jsonFinding struct {
+	ID               string   `json:"id"`
+	Severity         string   `json:"severity"`
 	Pattern          string   `json:"pattern"`
 	Abbrev           string   `json:"abbrev"`
 	Object           string   `json:"object"`
@@ -244,6 +342,9 @@ type jsonFinding struct {
 	VariationPct     float64  `json:"variation_pct,omitempty"`
 	Kernel           string   `json:"kernel,omitempty"`
 	PeakSavings      uint64   `json:"peak_savings_bytes,omitempty"`
+	ModeledCycles    uint64   `json:"modeled_cycles,omitempty"`
+	CyclesSaved      uint64   `json:"cycles_saved,omitempty"`
+	Confidence       float64  `json:"confidence"`
 	OnPeak           bool     `json:"on_peak"`
 	Suggestion       string   `json:"suggestion"`
 	AllocSite        string   `json:"alloc_site,omitempty"`
@@ -264,6 +365,8 @@ type jsonReport struct {
 	// Advice is the what-if estimate of applying every suggestion.
 	AdvicePeak         uint64  `json:"advised_peak_bytes"`
 	AdviceReductionPct float64 `json:"advised_reduction_pct"`
+	// CostModel summarizes the memory-hierarchy cost model when enabled.
+	CostModel *jsonCostModel `json:"cost_model,omitempty"`
 	// Memcheck summarizes the memory-safety report when one was taken.
 	Memcheck *jsonMemcheck `json:"memcheck,omitempty"`
 	// Obs is the self-observability snapshot with wall-clock fields
@@ -271,11 +374,32 @@ type jsonReport struct {
 	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
+// jsonCostModel is the serialized cost-model summary.
+type jsonCostModel struct {
+	SectorBytes   uint64 `json:"sector_bytes"`
+	LineBytes     uint64 `json:"line_bytes"`
+	DRAMCycles    uint64 `json:"dram_cycles"`
+	TLBReachBytes uint64 `json:"tlb_reach_bytes"`
+	ModeledCycles uint64 `json:"modeled_cycles"`
+	CyclesSaved   uint64 `json:"cycles_saved"`
+}
+
 // jsonMemcheck is the serialized memory-safety summary.
 type jsonMemcheck struct {
-	Issues       int    `json:"issues"`
-	LeakBytes    uint64 `json:"leak_bytes"`
-	ReadsChecked uint64 `json:"reads_checked"`
+	Issues       int                 `json:"issues"`
+	LeakBytes    uint64              `json:"leak_bytes"`
+	ReadsChecked uint64              `json:"reads_checked"`
+	IssueList    []jsonMemcheckIssue `json:"issue_list,omitempty"`
+}
+
+// jsonMemcheckIssue serializes one memory-safety issue with the unified
+// "id"/"severity" keys every tool's JSON output shares.
+type jsonMemcheckIssue struct {
+	ID       string `json:"id"`
+	Severity string `json:"severity"`
+	Kernel   string `json:"kernel,omitempty"`
+	Object   string `json:"object,omitempty"`
+	Count    uint64 `json:"count"`
 }
 
 // MarshalJSON serializes the report for machine consumption.
@@ -289,15 +413,41 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		DeviceMaps:         r.ModeStats.DeviceKernels,
 		HostMaps:           r.ModeStats.HostKernels,
 		GraphString:        r.Graph.String(),
-		AdvicePeak:         r.Advice.EstimatedPeak,
-		AdviceReductionPct: r.Advice.ReductionPct,
+		AdvicePeak:         r.WhatIf.EstimatedPeak,
+		AdviceReductionPct: r.WhatIf.ReductionPct,
+	}
+	if r.CostModel != nil {
+		cm := &jsonCostModel{
+			SectorBytes:   r.CostModel.SectorBytes,
+			LineBytes:     r.CostModel.LineBytes,
+			DRAMCycles:    r.CostModel.DRAMCycles,
+			TLBReachBytes: r.CostModel.TLBReach(),
+		}
+		for i := range r.Findings {
+			cm.ModeledCycles += r.Findings[i].ModeledCycles
+			cm.CyclesSaved += r.Findings[i].CyclesSaved
+		}
+		jr.CostModel = cm
 	}
 	if r.Memcheck != nil {
-		jr.Memcheck = &jsonMemcheck{
+		jm := &jsonMemcheck{
 			Issues:       len(r.Memcheck.Issues),
 			LeakBytes:    r.Memcheck.LeakBytes,
 			ReadsChecked: r.Memcheck.AccessesChecked,
 		}
+		for _, is := range r.Memcheck.Issues {
+			ji := jsonMemcheckIssue{
+				ID:       is.Class.ID(),
+				Severity: is.Class.Severity().String(),
+				Kernel:   is.Kernel,
+				Count:    is.Count,
+			}
+			if is.Object.Seq != 0 {
+				ji.Object = is.Object.Label
+			}
+			jm.IssueList = append(jm.IssueList, ji)
+		}
+		jr.Memcheck = jm
 	}
 	if r.Obs != nil {
 		zw := r.Obs.ZeroWall()
@@ -310,6 +460,8 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		f := &r.Findings[i]
 		o := r.Trace.Object(f.Object)
 		jf := jsonFinding{
+			ID:               f.Pattern.ID(),
+			Severity:         classify(f).String(),
 			Pattern:          f.Pattern.String(),
 			Abbrev:           f.Pattern.Abbrev(),
 			Object:           o.DisplayName(),
@@ -321,6 +473,9 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			VariationPct:     f.VariationPct,
 			Kernel:           f.AtKernel,
 			PeakSavings:      f.PeakSavingsBytes,
+			ModeledCycles:    f.ModeledCycles,
+			CyclesSaved:      f.CyclesSaved,
+			Confidence:       confidence(f.Pattern),
 			OnPeak:           f.OnPeak,
 			Suggestion:       f.Suggestion,
 		}

@@ -37,6 +37,10 @@ type HeatCell struct {
 	Object trace.ObjectID
 	// Touches counts the GPU APIs of the epoch that accessed the object.
 	Touches uint64
+	// ExcessTransactions counts the memory transactions the cost model
+	// attributed to the object during the epoch beyond the coalesced ideal
+	// (zero when the cost model is off): the temporal traffic-waste track.
+	ExcessTransactions uint64
 }
 
 // HeatEpoch is one closed kernel-epoch window of the temporal heat map.
@@ -75,7 +79,11 @@ type windowManager struct {
 	maxTopo       uint64 // incrementally tracked maximum timestamp
 
 	curCells map[trace.ObjectID]uint64
-	heat     *HeatMap
+	// curExcess/prevExcess difference the collector's cumulative per-object
+	// cost into per-epoch excess-transaction deltas.
+	curExcess  map[trace.ObjectID]uint64
+	prevExcess map[trace.ObjectID]uint64
+	heat       *HeatMap
 
 	obsRec  *obs.Recorder
 	winNode *obs.Node
@@ -95,6 +103,8 @@ func newWindowManager(t *trace.Trace, rec *intraobj.Recorder, cfg Config) *windo
 		acc:           objlevel.NewAccumulator(cfg.ObjLevel),
 		windowKernels: wk,
 		curCells:      make(map[trace.ObjectID]uint64),
+		curExcess:     make(map[trace.ObjectID]uint64),
+		prevExcess:    make(map[trace.ObjectID]uint64),
 		heat:          &HeatMap{WindowKernels: wk},
 		obsRec:        cfg.Obs,
 	}
@@ -125,6 +135,15 @@ func (wm *windowManager) OnAPI(rec *gpu.APIRecord) {
 			wm.acc.Observe(wm.t, id, *ev)
 		}
 		wm.curCells[id]++
+		// The collector's OnAPI already folded this kernel's cost into the
+		// object's cumulative counters; differencing against the previous
+		// observation yields this epoch's traffic-waste delta.
+		if rec.Kind == gpu.APIKernel && rec.Cost != nil {
+			if ex := o.Cost.ExcessTransactions(); ex > wm.prevExcess[id] {
+				wm.curExcess[id] += ex - wm.prevExcess[id]
+				wm.prevExcess[id] = ex
+			}
+		}
 	}
 
 	switch rec.Kind {
@@ -159,7 +178,7 @@ func (wm *windowManager) closeWindow(upTo uint64) {
 	}
 	cells := make([]HeatCell, 0, len(wm.curCells))
 	for id, n := range wm.curCells {
-		cells = append(cells, HeatCell{Object: id, Touches: n})
+		cells = append(cells, HeatCell{Object: id, Touches: n, ExcessTransactions: wm.curExcess[id]})
 	}
 	sort.Slice(cells, func(i, j int) bool { return cells[i].Object < cells[j].Object })
 	wm.heat.Epochs = append(wm.heat.Epochs, HeatEpoch{
@@ -188,6 +207,7 @@ func (wm *windowManager) closeWindow(upTo uint64) {
 	wm.retired = upTo + 1
 	wm.kernels = 0
 	clear(wm.curCells)
+	clear(wm.curExcess)
 
 	wm.obsRec.AddNamed(obs.NamedWindowsClosed, 1)
 	wm.obsRec.AddNamed(obs.NamedWindowAPIsRetired, retired)

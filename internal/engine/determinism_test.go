@@ -8,6 +8,7 @@ import (
 	"drgpum/internal/gpu"
 	"drgpum/internal/overhead"
 	"drgpum/internal/tables"
+	"drgpum/internal/workloads"
 )
 
 // renderEvaluation regenerates Tables 1, 4 and 5 and a slice of the
@@ -80,19 +81,22 @@ func TestCrossDriverCacheReuse(t *testing.T) {
 	if _, err := tables.Table1With(e, gpu.SpecRTX3090()); err != nil {
 		t.Fatal(err)
 	}
+	// One fresh profile per registered workload (12 paper programs plus
+	// the 2 uncoalesced-access companions).
+	nw := len(workloads.All())
 	after1 := e.Stats()
-	if after1.Misses != 12 || after1.Hits != 0 {
-		t.Fatalf("Table 1 stats = %+v, want 12 fresh profiles", after1)
+	if after1.Misses != nw || after1.Hits != 0 {
+		t.Fatalf("Table 1 stats = %+v, want %d fresh profiles", after1, nw)
 	}
 	if _, err := tables.Table5With(e, gpu.SpecRTX3090()); err != nil {
 		t.Fatal(err)
 	}
 	after5 := e.Stats()
-	if got := after5.Hits + after5.Dedups; got < 12 {
-		t.Errorf("Table 5 reused %d cached profiles, want all 12", got)
+	if got := after5.Hits + after5.Dedups; got < nw {
+		t.Errorf("Table 5 reused %d cached profiles, want all %d", got, nw)
 	}
-	// Only the 12 baseline runs are new work.
-	if got := after5.Misses - after1.Misses; got != 12 {
-		t.Errorf("Table 5 executed %d fresh runs, want exactly the 12 baseline runs", got)
+	// Only the baseline runs are new work.
+	if got := after5.Misses - after1.Misses; got != nw {
+		t.Errorf("Table 5 executed %d fresh runs, want exactly the %d baseline runs", got, nw)
 	}
 }

@@ -3,6 +3,8 @@ package gpu
 import (
 	"errors"
 	"fmt"
+
+	"drgpum/internal/costmodel"
 )
 
 // ErrBadCopy is returned when a memory copy or set touches addresses outside
@@ -58,6 +60,12 @@ type APIRecord struct {
 	// for this kernel (PatchFull and not filtered out by sampling or
 	// whitelist).
 	Instrumented bool
+	// Cost is the memory-hierarchy cost model's record for a kernel
+	// launch (nil when the model is disabled, for non-kernel APIs, in
+	// host-trace mode, or when the kernel touched no live object). Entry
+	// bases are hit-table range addresses; the collector resolves them to
+	// data objects.
+	Cost *costmodel.KernelCost
 	// Custom marks records synthesized by a custom memory API (e.g. a
 	// caching-pool allocation, paper §5.4) rather than a raw device API.
 	Custom bool
@@ -138,6 +146,15 @@ type Device struct {
 	// goroutine instead of running hooks inline (see pipeline.go).
 	pipe      *accessPipeline
 	pipeStats PipelineStats
+
+	// costSpec/costL2 carry the memory-hierarchy cost model when enabled:
+	// per-launch trackers derive from costSpec and share the persistent
+	// costL2. Both are only touched on the launching goroutine (kernel
+	// bodies always execute inline), which keeps the model byte-identical
+	// across the sequential/pipelined/streaming profiling modes.
+	costOn   bool
+	costSpec costmodel.Spec
+	costL2   *costmodel.Cache
 }
 
 type seqKey struct {
@@ -208,6 +225,32 @@ func (d *Device) SetObjectIDMode(m ObjectIDMode) { d.objectID = m }
 func (d *Device) SetInstrumentFilter(f func(kernel string, launch uint64) bool) {
 	d.instrument = f
 }
+
+// SetCostModel enables the memory-hierarchy cost model (DESIGN.md §4.10)
+// for subsequent kernel launches: per-warp coalescing over each launch's
+// hit table, a per-launch L1 and a persistent L2, parameterized by spec.
+// Kernel records gain a Cost field; the simulated clock is unchanged (the
+// model is an analysis overlay, not a timing change). A zero-valued spec
+// derives the defaults for this device via costmodel.SpecFor.
+func (d *Device) SetCostModel(spec costmodel.Spec) {
+	if spec.SectorBytes == 0 {
+		spec = costmodel.SpecFor(d.spec.Name, d.spec.GlobalLatency, d.spec.CopyBytesPerCycle,
+			d.spec.MallocCycles, d.spec.FreeCycles)
+	}
+	d.costOn = true
+	d.costSpec = spec
+	d.costL2 = costmodel.NewCache(spec.L2Sets, spec.L2Ways)
+}
+
+// DisableCostModel turns the cost model off for subsequent launches.
+func (d *Device) DisableCostModel() {
+	d.costOn = false
+	d.costL2 = nil
+}
+
+// CostModelSpec returns the active cost-model parameters and whether the
+// model is enabled.
+func (d *Device) CostModelSpec() (costmodel.Spec, bool) { return d.costSpec, d.costOn }
 
 // SetLiveRangesProvider overrides the source of the live-object table used
 // by the kernel hit-flag scheme. By default the allocator's live blocks are

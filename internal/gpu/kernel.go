@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"math"
 	"sort"
+
+	"drgpum/internal/costmodel"
 )
 
 // Kernel is simulated device code. Run is invoked once per launch and must
@@ -58,6 +60,10 @@ type ExecContext struct {
 
 	instrumented bool
 	hostTrace    bool // ObjectIDHostTrace mode: ship every access to the host
+
+	// cost, when non-nil, runs the memory-hierarchy cost model over this
+	// launch's accesses, keyed by hit-table entry (see Device.SetCostModel).
+	cost *costmodel.Tracker
 
 	shared []byte
 
@@ -146,6 +152,9 @@ func (c *ExecContext) accessVal(addr DevicePtr, size uint32, kind AccessKind, va
 				c.table[i].readHit = true
 			} else {
 				c.table[i].writeHit = true
+			}
+			if c.cost != nil {
+				c.cost.Access(i, uint64(addr), size)
 			}
 		}
 	}
@@ -338,6 +347,9 @@ func (d *Device) Launch(stream *Stream, k Kernel, grid, block Dim3) error {
 			for i, r := range live {
 				ctx.table[i] = hitEntry{rng: r}
 			}
+			if d.costOn && len(ctx.table) > 0 {
+				ctx.cost = costmodel.NewTracker(d.costSpec, d.costL2, len(ctx.table))
+			}
 		}
 		if d.patch == PatchFull {
 			ctx.instrumented = d.instrument == nil || d.instrument(k.Name(), launchNo)
@@ -370,6 +382,10 @@ func (d *Device) Launch(stream *Stream, k Kernel, grid, block Dim3) error {
 				}
 			}
 		}
+	}
+
+	if ctx.cost != nil {
+		rec.Cost = ctx.cost.Finish(func(i int) uint64 { return uint64(ctx.table[i].rng.Addr) })
 	}
 
 	cost := d.spec.LaunchCycles + ctx.accessCycles + ctx.computeCycles

@@ -105,11 +105,11 @@ func buildHTMLData(rep *core.Report) *htmlData {
 		ChartWidth:  chartW,
 		ChartHeight: chartH,
 	}
-	if rep.Advice.EstimatedPeak < rep.Advice.OriginalPeak {
+	if rep.WhatIf.EstimatedPeak < rep.WhatIf.OriginalPeak {
 		d.HasAdvice = true
-		d.AdviceOriginal = rep.Advice.OriginalPeak
-		d.AdviceEstimated = rep.Advice.EstimatedPeak
-		d.AdvicePct = rep.Advice.ReductionPct
+		d.AdviceOriginal = rep.WhatIf.OriginalPeak
+		d.AdviceEstimated = rep.WhatIf.EstimatedPeak
+		d.AdvicePct = rep.WhatIf.ReductionPct
 	}
 
 	// Timeline polyline: topological time on X, live bytes on Y.

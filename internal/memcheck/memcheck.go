@@ -28,6 +28,7 @@ import (
 	"drgpum/internal/gpu"
 	"drgpum/internal/intraobj"
 	"drgpum/internal/obs"
+	"drgpum/internal/pattern"
 )
 
 // Config controls the checker.
@@ -79,6 +80,27 @@ func (c Class) String() string {
 		return "leak"
 	}
 }
+
+// ID returns the stable kebab-case identifier memcheck issues use in the
+// shared JSON schema (the same "id" vocabulary as pattern.Pattern.ID).
+// ClassLeak deliberately maps to the dynamic profiler's "memory-leak" —
+// both report the same defect, so they share one identifier.
+func (c Class) ID() string {
+	switch c {
+	case ClassOOB:
+		return "out-of-bounds"
+	case ClassUseAfterFree:
+		return "use-after-free"
+	case ClassUninitRead:
+		return "uninitialized-read"
+	default:
+		return pattern.MemoryLeak.ID()
+	}
+}
+
+// Severity maps every memcheck class onto the shared three-level scale:
+// memory-safety issues are definite defects, never advisory.
+func (c Class) Severity() pattern.SeverityClass { return pattern.SeverityError }
 
 // allocation is the checker's view of one driver allocation.
 type allocation struct {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"drgpum/internal/gpu"
+	"drgpum/internal/workloads"
 )
 
 func TestMedianAndGeomean(t *testing.T) {
@@ -56,8 +57,8 @@ func TestFigure6Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 12 {
-		t.Fatalf("rows = %d, want one per workload", len(rows))
+	if want := len(workloads.All()); len(rows) != want {
+		t.Fatalf("rows = %d, want one per workload (%d)", len(rows), want)
 	}
 	var objectWins, intraAtLeastObject int
 	for _, r := range rows {
@@ -71,10 +72,10 @@ func TestFigure6Shape(t *testing.T) {
 	// Timing noise tolerance: the clear majority must show the expected
 	// ordering (in the paper every benchmark does).
 	if objectWins < 9 {
-		t.Errorf("only %d/12 workloads show object-level overhead > 1x", objectWins)
+		t.Errorf("only %d/%d workloads show object-level overhead > 1x", objectWins, len(rows))
 	}
 	if intraAtLeastObject < 9 {
-		t.Errorf("only %d/12 workloads have intra-object >= object-level cost", intraAtLeastObject)
+		t.Errorf("only %d/%d workloads have intra-object >= object-level cost", intraAtLeastObject, len(rows))
 	}
 
 	var b strings.Builder

@@ -46,12 +46,27 @@ const (
 	// StructuredAccess (Definition 3.10): each GPU API accesses a disjoint
 	// slice of the object.
 	StructuredAccess
+	// UncoalescedAccess is a repo extension beyond the paper's ten patterns:
+	// the memory-hierarchy cost model observed that kernels touch the object
+	// with access patterns whose per-warp transaction count substantially
+	// exceeds the coalesced ideal (DESIGN.md §4.10). Unlike the byte-centric
+	// patterns above it wastes bandwidth and cycles, not footprint.
+	UncoalescedAccess
 
 	numPatterns
 )
 
 // NumPatterns is the number of defined patterns.
 const NumPatterns = int(numPatterns)
+
+// NumPaperPatterns is the number of patterns defined by the source paper
+// (§3, Table 1). Patterns at and beyond this index are repo extensions;
+// paper-replication tables only render the first NumPaperPatterns columns.
+const NumPaperPatterns = int(StructuredAccess) + 1
+
+// InPaper reports whether the pattern is one of the paper's original ten
+// (as opposed to a repo extension such as UncoalescedAccess).
+func (p Pattern) InPaper() bool { return int(p) < NumPaperPatterns }
 
 // ObjectLevel reports whether the pattern belongs to the object-level
 // category (§3.1) as opposed to intra-object (§3.2).
@@ -80,6 +95,8 @@ func (p Pattern) String() string {
 		return "Non-uniform Access Frequency"
 	case StructuredAccess:
 		return "Structured Access"
+	case UncoalescedAccess:
+		return "Uncoalesced Access"
 	default:
 		return fmt.Sprintf("Pattern(%d)", uint8(p))
 	}
@@ -109,8 +126,80 @@ func (p Pattern) Abbrev() string {
 		return "NUAF"
 	case StructuredAccess:
 		return "SA"
+	case UncoalescedAccess:
+		return "UC"
 	default:
 		return "??"
+	}
+}
+
+// ID returns the stable kebab-case identifier used by every JSON schema the
+// toolchain emits (drgpum -json, drgpum-staticadv -json, drgpum-lint). IDs
+// are part of the output contract: never renumber or rename them.
+func (p Pattern) ID() string {
+	switch p {
+	case EarlyAllocation:
+		return "early-allocation"
+	case LateDeallocation:
+		return "late-deallocation"
+	case RedundantAllocation:
+		return "redundant-allocation"
+	case UnusedAllocation:
+		return "unused-allocation"
+	case MemoryLeak:
+		return "memory-leak"
+	case TemporaryIdleness:
+		return "temporary-idleness"
+	case DeadWrite:
+		return "dead-write"
+	case Overallocation:
+		return "overallocation"
+	case NonUniformAccessFrequency:
+		return "non-uniform-access-frequency"
+	case StructuredAccess:
+		return "structured-access"
+	case UncoalescedAccess:
+		return "uncoalesced-access"
+	default:
+		return fmt.Sprintf("pattern-%d", uint8(p))
+	}
+}
+
+// ParseID resolves a kebab-case pattern identifier.
+func ParseID(s string) (Pattern, bool) {
+	for p := EarlyAllocation; p < numPatterns; p++ {
+		if p.ID() == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// SeverityClass buckets a finding's importance into the three-level scale
+// shared by every tool's JSON schema (profiler findings, static advisor
+// findings and memcheck reports all use the same strings).
+type SeverityClass uint8
+
+const (
+	// SeverityInfo marks advisory findings with little modeled waste.
+	SeverityInfo SeverityClass = iota
+	// SeverityWarning marks findings with substantial modeled waste.
+	SeverityWarning
+	// SeverityError marks definite defects (leaks, out-of-bounds, ...).
+	SeverityError
+)
+
+// String returns the schema string ("info", "warning", "error").
+func (s SeverityClass) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity-%d", uint8(s))
 	}
 }
 
@@ -178,6 +267,14 @@ type Finding struct {
 	VariationPct float64
 	// AtKernel is the kernel name evidencing an intra-object pattern.
 	AtKernel string
+	// ModeledCycles is the cost model's estimate of the memory-hierarchy
+	// cycles the affected object's traffic currently costs (0 when the model
+	// is disabled or the pattern carries no traffic component).
+	ModeledCycles uint64
+	// CyclesSaved is the cost model's estimate of cycles recovered by fixing
+	// this finding (DESIGN.md §4.10). When the model is enabled, severity
+	// ranking uses this instead of the byte-based formula.
+	CyclesSaved uint64
 	// Severity orders findings within a report (higher is more severe).
 	Severity float64
 	// Suggestion is the human-facing optimization guidance.

@@ -17,9 +17,13 @@ func TestPatternNamesAndAbbrevs(t *testing.T) {
 		Overallocation:            "OA",
 		NonUniformAccessFrequency: "NUAF",
 		StructuredAccess:          "SA",
+		UncoalescedAccess:         "UC",
 	}
 	if len(wantAbbrev) != NumPatterns {
 		t.Fatalf("pattern count = %d", NumPatterns)
+	}
+	if NumPaperPatterns != 10 {
+		t.Fatalf("paper pattern count = %d, want 10", NumPaperPatterns)
 	}
 	for p, ab := range wantAbbrev {
 		if p.Abbrev() != ab {
@@ -27,6 +31,38 @@ func TestPatternNamesAndAbbrevs(t *testing.T) {
 		}
 		if p.String() == "" || strings.HasPrefix(p.String(), "Pattern(") {
 			t.Errorf("%q has no name", ab)
+		}
+		if wantPaper := p != UncoalescedAccess; p.InPaper() != wantPaper {
+			t.Errorf("%v.InPaper() = %v, want %v", p, p.InPaper(), wantPaper)
+		}
+	}
+}
+
+func TestParseIDRoundtrip(t *testing.T) {
+	for _, p := range All() {
+		id := p.ID()
+		if strings.ToLower(id) != id || strings.Contains(id, " ") {
+			t.Errorf("%v.ID() = %q is not kebab-case", p, id)
+		}
+		got, ok := ParseID(id)
+		if !ok || got != p {
+			t.Errorf("ParseID(%q) = %v, %v", id, got, ok)
+		}
+	}
+	if _, ok := ParseID("bogus-pattern"); ok {
+		t.Error("ParseID accepted garbage")
+	}
+}
+
+func TestSeverityClassStrings(t *testing.T) {
+	want := map[SeverityClass]string{
+		SeverityInfo:    "info",
+		SeverityWarning: "warning",
+		SeverityError:   "error",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("SeverityClass(%d).String() = %q, want %q", s, s.String(), str)
 		}
 	}
 }
@@ -51,7 +87,8 @@ func TestParseAbbrevRoundtrip(t *testing.T) {
 func TestObjectLevelSplit(t *testing.T) {
 	objectLevel := []Pattern{EarlyAllocation, LateDeallocation, RedundantAllocation,
 		UnusedAllocation, MemoryLeak, TemporaryIdleness, DeadWrite}
-	intra := []Pattern{Overallocation, NonUniformAccessFrequency, StructuredAccess}
+	intra := []Pattern{Overallocation, NonUniformAccessFrequency, StructuredAccess,
+		UncoalescedAccess}
 	for _, p := range objectLevel {
 		if !p.ObjectLevel() {
 			t.Errorf("%v should be object-level", p)

@@ -82,6 +82,15 @@ func Suggest(t *trace.Trace, f *Finding) string {
 				"(or re-allocated) per invocation, so only one slice is live at a time.",
 			f.AtKernel, name)
 
+	case UncoalescedAccess:
+		return fmt.Sprintf(
+			"Kernel %s touches %s with uncoalesced accesses: the cost model counts "+
+				"far more memory transactions than the coalesced ideal. Reorder the "+
+				"access pattern so consecutive threads touch consecutive addresses "+
+				"(e.g. transpose the loop nest, tile through shared memory, or switch "+
+				"an array-of-structs layout to struct-of-arrays).",
+			f.AtKernel, name)
+
 	default:
 		return ""
 	}

@@ -90,6 +90,17 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s (%s)", f.Pos, f.Pattern.Abbrev(), f.Message, f.Analyzer)
 }
 
+// Severity maps the finding onto the shared three-level scale of the
+// unified JSON schema. Static findings carry no runtime magnitudes, so
+// the bucket comes from the pattern alone: leaks are definite defects,
+// everything else the advisor proves from source is a warning.
+func (f Finding) Severity() pattern.SeverityClass {
+	if f.Pattern == pattern.MemoryLeak {
+		return pattern.SeverityError
+	}
+	return pattern.SeverityWarning
+}
+
 // Config selects the analysis assumptions.
 type Config struct {
 	// Variant is the workload variant assumed when pruning

@@ -11,6 +11,7 @@ package tables
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"drgpum/internal/engine"
@@ -49,6 +50,16 @@ type XValRow struct {
 	StaticOnly  []pattern.Pattern
 	// StaticFindings is the advisor's raw finding count for the pair.
 	StaticFindings int
+	// UCConfirmed / UCUnexplained cross-check the cost model's dynamic
+	// uncoalesced-access findings against the advisor's stride classes:
+	// a kernel the profiler flagged as uncoalesced is confirmed when the
+	// stride analyzer attributes at least one strided or irregular access
+	// to its loops, unexplained otherwise. Informational only — the Gate
+	// does not consider these (the stride analyzer cannot see through
+	// every addressing idiom, so an unexplained kernel is a coverage gap,
+	// not necessarily a bug).
+	UCConfirmed   []string
+	UCUnexplained []string
 }
 
 // XValReport is the full cross-validation matrix.
@@ -104,6 +115,15 @@ func CrossValidateWith(e *engine.Engine, spec gpu.DeviceSpec) (*XValReport, erro
 		}
 	}
 
+	// Stride side of the uncoalesced-access cross-check: which kernels the
+	// advisor statically classifies as doing strided or irregular accesses.
+	strideWaste := make(map[string]bool)
+	for _, l := range staticadv.StrideReport(pkgs[0]) {
+		if l.Strided > 0 || l.Irregular > 0 {
+			strideWaste[l.Kernel] = true
+		}
+	}
+
 	ws := workloads.All()
 	variants := []workloads.Variant{workloads.VariantNaive, workloads.VariantOptimized}
 	var specs []engine.RunSpec
@@ -142,6 +162,20 @@ func CrossValidateWith(e *engine.Engine, spec gpu.DeviceSpec) (*XValReport, erro
 					row.StaticOnly = append(row.StaticOnly, p)
 				}
 			}
+			seenUC := make(map[string]bool)
+			for _, f := range results[i*len(variants)+j].Report.Findings {
+				if f.Pattern != pattern.UncoalescedAccess || f.AtKernel == "" || seenUC[f.AtKernel] {
+					continue
+				}
+				seenUC[f.AtKernel] = true
+				if strideWaste[f.AtKernel] {
+					row.UCConfirmed = append(row.UCConfirmed, f.AtKernel)
+				} else {
+					row.UCUnexplained = append(row.UCUnexplained, f.AtKernel)
+				}
+			}
+			sort.Strings(row.UCConfirmed)
+			sort.Strings(row.UCUnexplained)
 			rep.Rows = append(rep.Rows, row)
 		}
 	}
@@ -163,6 +197,17 @@ func (r *XValReport) Agreement() float64 {
 		return 1
 	}
 	return float64(confirmed) / float64(dynamic)
+}
+
+// UCAgreement returns the uncoalesced-access cross-check totals: how many
+// dynamically flagged kernels the stride analyzer confirmed, out of all
+// dynamically flagged kernels (across all rows and variants).
+func (r *XValReport) UCAgreement() (confirmed, total int) {
+	for _, row := range r.Rows {
+		confirmed += len(row.UCConfirmed)
+		total += len(row.UCConfirmed) + len(row.UCUnexplained)
+	}
+	return confirmed, total
 }
 
 // StaticOnly returns the total static-only pattern count for the variant.
@@ -215,4 +260,13 @@ func RenderXVal(w io.Writer, r *XValReport) {
 	}
 	fmt.Fprintf(w, "\nnaive agreement: %.1f%%   static-only on optimized: %d\n",
 		r.Agreement()*100, r.StaticOnly(workloads.VariantOptimized))
+	ucConfirmed, ucTotal := r.UCAgreement()
+	fmt.Fprintf(w, "uncoalesced-access kernels confirmed by static stride analysis: %d/%d\n",
+		ucConfirmed, ucTotal)
+	for _, row := range r.Rows {
+		for _, k := range row.UCUnexplained {
+			fmt.Fprintf(w, "  unexplained: %s %s kernel %q (no statically strided/irregular loop)\n",
+				row.Program, row.Variant, k)
+		}
+	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"drgpum/internal/callpath"
+	"drgpum/internal/costmodel"
 	"drgpum/internal/gpu"
 	"drgpum/internal/obs"
 )
@@ -221,6 +222,7 @@ func (c *Collector) OnAPI(rec *gpu.APIRecord) {
 			// Hit-flag mode: the record carries object-resolution ranges.
 			c.attributeRanges(info, rec)
 		}
+		c.attributeCost(rec)
 	}
 
 	// Keep the APIs slice dense and indexed by invocation index.
@@ -230,6 +232,32 @@ func (c *Collector) OnAPI(rec *gpu.APIRecord) {
 	c.trace.APIs = append(c.trace.APIs, info)
 	c.obsRec.Add(obs.CtrAPIs, 1)
 	sp.End()
+}
+
+// attributeCost folds a kernel launch's cost-model record into the touched
+// objects. Accumulation happens here — at OnAPI arrival, before any window
+// retirement — so the per-object totals survive streaming compaction, and
+// the counters are commutative sums, so every profiling mode folds the same
+// values regardless of hook delivery order within the launch.
+func (c *Collector) attributeCost(rec *gpu.APIRecord) {
+	if rec.Cost == nil {
+		return
+	}
+	for i := range rec.Cost.Entries {
+		e := &rec.Cost.Entries[i]
+		id, ok := c.mmap.LookupBase(gpu.DevicePtr(e.Base))
+		if !ok {
+			continue
+		}
+		o := c.trace.Objects[id]
+		o.Cost.Add(e.ObjectCost)
+		if o.CostByKernel == nil {
+			o.CostByKernel = make(map[string]costmodel.ObjectCost)
+		}
+		kc := o.CostByKernel[rec.Name]
+		kc.Add(e.ObjectCost)
+		o.CostByKernel[rec.Name] = kc
+	}
 }
 
 // attributeRanges maps the record's read/written address ranges to live

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"drgpum/internal/callpath"
+	"drgpum/internal/costmodel"
 	"drgpum/internal/gpu"
 )
 
@@ -63,6 +64,16 @@ type Object struct {
 	FreePath  callpath.PathID
 	// Accesses lists the APIs that touched this object in invocation order.
 	Accesses []AccessEvent
+	// Cost aggregates the memory-hierarchy cost model's view of this
+	// object's kernel traffic over the whole run (zero when the model is
+	// disabled). It is accumulated at OnAPI arrival — before any window
+	// retirement — so it survives streaming compaction, and its counters
+	// are commutative sums, so every profiling mode folds the same values.
+	Cost costmodel.ObjectCost
+	// CostByKernel splits Cost by kernel name, so the uncoalesced-access
+	// detector can attribute waste to the dominant kernel. Nil until the
+	// first costed kernel touch.
+	CostByKernel map[string]costmodel.ObjectCost
 	// Pool marks objects allocated through a custom memory-pool API rather
 	// than a raw device allocation (paper §5.4).
 	Pool bool

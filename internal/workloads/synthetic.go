@@ -3,7 +3,8 @@ package workloads
 import "drgpum/internal/gpu"
 
 // Synthetic returns the kitchen-sink program: a single trace exhibiting all
-// ten of the paper's inefficiency patterns at once. It is not part of the
+// ten of the paper's inefficiency patterns — plus the repo's
+// uncoalesced-access extension — at once. It is not part of the
 // evaluated suite (it is not registered, so the Table 1/4 harnesses never
 // see it); it exists as an executable specification of §3 — profiling it at
 // intra-object granularity must yield every pattern — and as the canonical
@@ -21,6 +22,8 @@ import "drgpum/internal/gpu"
 //	OA   sparse     kernels touch only its leading elements
 //	NUAF skew       element i is read i+1 times by the triangle kernel
 //	SA   sliced     each slicer instance writes one disjoint contiguous row
+//	UC   grid       the colmajor kernel walks a 64x64 grid column-major
+//	                (repo extension beyond the paper's ten, DESIGN.md §4.10)
 func Synthetic() *Workload {
 	return &Workload{
 		Name:         "synthetic/kitchen-sink",
@@ -35,6 +38,7 @@ const (
 	synSparse = 64 << 10
 	synSlice  = 1024 // bytes per slicer row
 	synSlices = 8
+	synGrid   = 64 // the UC grid is synGrid x synGrid f32 elements
 )
 
 func runSynthetic(dev *gpu.Device, host Host, v Variant) error {
@@ -108,6 +112,22 @@ func runSynthetic(dev *gpu.Device, host Host, v Variant) error {
 			ctx.StoreU32(stage2+gpu.DevicePtr(i*4), 7)
 		}
 	})
+
+	// UC: a column-major walk over a 64x64 grid — consecutive accesses
+	// stride one row apart, so each warp touches 32 distinct sectors where
+	// a row-major walk would touch 4. Allocated immediately before its only
+	// kernel and freed immediately after, every element written exactly
+	// once: no lifetime or footprint pattern fires, only the cost model's
+	// uncoalesced-access detector.
+	grid := r.malloc("grid", synGrid*synGrid*4, 4)
+	r.launch("colmajor", nil, gpu.Dim1(1), gpu.Dim1(64), func(ctx *gpu.ExecContext) {
+		for j := 0; j < synGrid; j++ {
+			for i := 0; i < synGrid; i++ {
+				ctx.StoreU32(grid+gpu.DevicePtr((i*synGrid+j)*4), uint32(i^j))
+			}
+		}
+	})
+	r.free(grid)
 
 	// out's first touch (EA paid off) and warm's re-read (TI window closed).
 	r.launch("finish", nil, gpu.Dim1(1), gpu.Dim1(64), func(ctx *gpu.ExecContext) {

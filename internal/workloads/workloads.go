@@ -2,7 +2,9 @@
 // programs the paper evaluates: Rodinia huffman and dwt2d, PolyBench 2MM,
 // 3MM, GramSchmidt and BICG, a PyTorch-style convolution stack on a caching
 // allocator, Laghos, Darknet (YOLO inference), XSBench, MiniMDock, and the
-// CUDA SDK simpleMultiCopy sample.
+// CUDA SDK simpleMultiCopy sample — plus two traffic-bound companions for
+// the cost model's uncoalesced-access extension, the CUDA SDK
+// matrixTranspose and particles samples.
 //
 // Each workload has two variants:
 //
@@ -86,6 +88,7 @@ var tableOrder = []string{
 	"rodinia/huffman", "rodinia/dwt2d",
 	"polybench/2mm", "polybench/3mm", "polybench/gramschmidt", "polybench/bicg",
 	"pytorch", "laghos", "darknet", "xsbench", "minimdock", "simplemulticopy",
+	"sdk/matrixtranspose", "sdk/particles",
 }
 
 // register adds a workload at package init time.

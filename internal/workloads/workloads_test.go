@@ -31,14 +31,15 @@ func TestEveryWorkloadRunsAndVerifies(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	if len(All()) != 12 {
-		t.Fatalf("registry has %d workloads, want the paper's 12", len(All()))
+	if len(All()) != 14 {
+		t.Fatalf("registry has %d workloads, want the paper's 12 plus the 2 UC companions", len(All()))
 	}
 	names := Names()
 	want := []string{
 		"rodinia/huffman", "rodinia/dwt2d",
 		"polybench/2mm", "polybench/3mm", "polybench/gramschmidt", "polybench/bicg",
 		"pytorch", "laghos", "darknet", "xsbench", "minimdock", "simplemulticopy",
+		"sdk/matrixtranspose", "sdk/particles",
 	}
 	for i, n := range want {
 		if names[i] != n {
@@ -174,7 +175,7 @@ func TestSyntheticIsUnregistered(t *testing.T) {
 	if _, ok := ByName("synthetic/kitchen-sink"); ok {
 		t.Fatal("synthetic workload registered")
 	}
-	if len(All()) != 12 {
+	if len(All()) != 14 {
 		t.Fatalf("All() = %d workloads", len(All()))
 	}
 }
